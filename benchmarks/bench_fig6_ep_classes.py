@@ -1,0 +1,21 @@
+"""Figure 6 — EP speedup over serial CPU per problem class (§V-B).
+
+Paper: GPU speedups grow with class; HPL is 20.5% slower than OpenCL at
+class W but only 5.7% / 2.3% / 1.1% at A / B / C — the fixed capture +
+codegen cost dilutes as the kernel runs longer.
+"""
+
+from repro.benchsuite import report, runner
+
+
+def test_fig6_ep_speedups_by_class(benchmark):
+    rows = benchmark.pedantic(
+        lambda: runner.run_fig6(classes=("W", "A", "B", "C")),
+        rounds=1, iterations=1)
+    print()
+    print(report.format_fig6(rows))
+    # speedups grow with problem size and HPL tracks OpenCL ever closer
+    speedups = [r["hpl_speedup"] for r in rows]
+    assert speedups == sorted(speedups)
+    gaps = [r["opencl_speedup"] / r["hpl_speedup"] for r in rows]
+    assert gaps[-1] < gaps[0]

@@ -1,0 +1,28 @@
+"""Figure 7 — GPU speedups of all five benchmarks (§V-B).
+
+Paper: speedups range from 5.4x (spmv) to 257x (EP) on the Tesla, with
+HPL matching OpenCL closely on every benchmark.
+"""
+
+from repro.benchsuite import report, runner
+
+
+def test_fig7_all_benchmark_speedups(benchmark):
+    rows = benchmark.pedantic(runner.run_fig7, rounds=1, iterations=1)
+    print()
+    print(report.format_fig7(rows))
+    by_name = {r["benchmark"]: r for r in rows}
+    # the paper's two published end-points, within a generous band
+    assert 150 < by_name["EP"]["opencl_speedup"] < 400
+    assert 2 < by_name["Spmv"]["opencl_speedup"] < 15
+    # ordering: EP dominates, spmv trails everything
+    for name, row in by_name.items():
+        if name != "EP":
+            assert row["opencl_speedup"] < \
+                by_name["EP"]["opencl_speedup"]
+        if name != "Spmv":
+            assert row["opencl_speedup"] > \
+                by_name["Spmv"]["opencl_speedup"]
+    # HPL is on par with OpenCL everywhere
+    for row in rows:
+        assert row["hpl_speedup"] > 0.70 * row["opencl_speedup"]

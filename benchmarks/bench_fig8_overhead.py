@@ -1,0 +1,34 @@
+"""Figure 8 — slowdown of HPL vs OpenCL per benchmark (§V-B).
+
+Paper: typical degradation below 4%, caused by the time HPL needs to
+capture the kernel, analyse it and generate OpenCL C.  The in-text
+variant that *counts transfers* dilutes matrix transpose's overhead from
+3.47% to 0.41% — both variants are regenerated here.
+"""
+
+from repro.benchsuite import report, runner
+from repro.hpl import reset_runtime
+
+
+def test_fig8_overhead_without_transfers(benchmark):
+    rows = benchmark.pedantic(runner.run_fig8, rounds=1, iterations=1)
+    print()
+    print(report.format_fig8(rows))
+    for row in rows:
+        # cold-call overhead stays bounded (paper: <4%; our Python
+        # capture is constant-factor slower, see EXPERIMENTS.md)
+        assert row["slowdown_pct"] < 40.0, row
+        assert row["hpl_overhead_seconds"] < 0.1
+
+
+def test_fig8_overhead_with_transfers(benchmark):
+    def run():
+        reset_runtime()
+        return runner.run_fig8(include_transfers=True)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(report.format_fig8(rows, include_transfers=True))
+    # with PCIe traffic counted the overhead is diluted below ~5%
+    for row in rows:
+        assert row["slowdown_pct"] < 5.0, row

@@ -1,0 +1,22 @@
+"""Figure 9 — portability: HPL overhead on Tesla *and* Quadro (§V-C).
+
+Paper: the same HPL sources run unchanged on the Quadro FX 380 (reduced
+problem sizes; EP excluded — no double support) with overhead that is
+"minimal for both devices".
+"""
+
+from repro.benchsuite import report, runner
+
+
+def test_fig9_portability(benchmark):
+    rows = benchmark.pedantic(runner.run_fig9, rounds=1, iterations=1)
+    print()
+    print(report.format_fig9(rows))
+    gpus = {r["gpu"] for r in rows}
+    assert gpus == {"Tesla C2050/C2070", "Quadro FX 380"}
+    # EP cannot run on the Quadro (no fp64)
+    quadro_benchmarks = {r["benchmark"] for r in rows
+                         if r["gpu"] == "Quadro FX 380"}
+    assert "EP" not in quadro_benchmarks
+    for row in rows:
+        assert row["slowdown_pct"] < 40.0, row

@@ -1,0 +1,18 @@
+"""Benchmark-suite fixtures.
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Each module regenerates
+one table or figure of the paper and prints it in the paper's layout; the
+pytest-benchmark timings measure the wall-clock cost of the experiment
+pipeline itself (capture + compile + simulated execution).
+"""
+
+import pytest
+
+from repro.hpl import reset_runtime
+
+
+@pytest.fixture(autouse=True)
+def _fresh_runtime():
+    reset_runtime()
+    yield
+    reset_runtime()

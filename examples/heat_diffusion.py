@@ -1,0 +1,71 @@
+"""1-D heat diffusion: an iterative stencil workload on HPL.
+
+Run with ``python examples/heat_diffusion.py``.
+
+The explicit finite-difference update
+``u[i] += alpha * (u[i-1] - 2 u[i] + u[i+1])`` runs entirely on the
+(simulated) GPU: the rod stays resident in device memory across all time
+steps thanks to HPL's transfer minimisation — only the initial upload
+and the final download cross the PCIe bus, which the printed statistics
+demonstrate.
+"""
+
+import numpy as np
+
+import repro.hpl as hpl
+from repro.hpl import Array, Float, Int, endif_, eval, float_, idx, if_
+
+
+def diffuse(next_u, u, alpha, n):
+    """One explicit time step with fixed (Dirichlet) boundaries."""
+    if_((idx > 0) & (idx < n - 1))
+    next_u[idx] = u[idx] + alpha * (u[idx - 1] - 2.0 * u[idx]
+                                    + u[idx + 1])
+    endif_()
+    if_((idx == 0) | (idx == n - 1))
+    next_u[idx] = u[idx]
+    endif_()
+
+
+def reference(u, alpha, steps):
+    u = u.astype(np.float64).copy()
+    for _ in range(steps):
+        nxt = u.copy()
+        nxt[1:-1] = u[1:-1] + alpha * (u[:-2] - 2 * u[1:-1] + u[2:])
+        u = nxt
+    return u
+
+
+def main(n=4096, steps=200, alpha=0.25):
+    # a hot spike in the middle of a cold rod
+    initial = np.zeros(n, dtype=np.float32)
+    initial[n // 2 - 8:n // 2 + 8] = 100.0
+
+    u = Array(float_, n, data=initial.copy())
+    nxt = Array(float_, n)
+    a = Float(alpha)
+    count = Int(n)
+
+    sim_seconds = 0.0
+    for _ in range(steps):
+        result = eval(diffuse)(nxt, u, a, count)
+        sim_seconds += result.kernel_seconds
+        u, nxt = nxt, u   # ping-pong buffers, all on the device
+
+    final = u.read()
+    expected = reference(initial, alpha, steps)
+    err = float(np.abs(final - expected).max())
+
+    stats = hpl.get_runtime().stats
+    print(f"heat diffusion: n={n}, {steps} steps on "
+          f"{hpl.get_runtime().default_device.name}")
+    print(f"  max deviation from NumPy reference: {err:.3e}")
+    print(f"  simulated device time: {sim_seconds * 1e3:.3f} ms")
+    print(f"  host->device transfers: {stats.h2d_transfers} "
+          f"(one upload; the rod never leaves the device)")
+    print(f"  peak temperature now: {final.max():.2f}")
+    assert err < 1e-2
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""repro — a from-scratch reproduction of the Heterogeneous Programming
+Library (HPL) from *"A Portable High-Productivity Approach to Program
+Heterogeneous Systems"* (Bozkus & Fraguela, 2012).
+
+Layout
+------
+* :mod:`repro.hpl`  — the paper's contribution: the HPL embedded DSL,
+  runtime, kernel cache and transfer management.
+* :mod:`repro.ocl`  — SimCL, the simulated OpenCL platform HPL targets
+  (and the baseline API hand-written benchmarks program against).
+* :mod:`repro.clc`  — the OpenCL C subset compiler behind SimCL.
+* :mod:`repro.benchsuite` — the paper's five benchmarks and the runner
+  that regenerates every table and figure of the evaluation.
+* :mod:`repro.productivity` — the sloccount-style SLOC metric of §V-A.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""``repro.benchsuite`` — the paper's five evaluation benchmarks.
+
+Each benchmark (EP, Floyd-Warshall, matrix transpose, spmv, reduction)
+exists in three versions:
+
+* ``serial``  — a NumPy reference (correctness oracle) plus an analytic
+  cost formula for the serial-CPU baseline of Figures 6/7,
+* ``opencl``  — a hand-written host program against the low-level SimCL
+  API with embedded OpenCL C kernels (the paper's comparison point),
+* ``hpl``     — the concise HPL version.
+
+:mod:`repro.benchsuite.runner` orchestrates the runs behind every table
+and figure; :mod:`repro.benchsuite.report` prints them in the paper's
+format.
+"""
+
+from .common import BenchRun, Problem, extrapolated_seconds
+from .registry import BENCHMARKS, get_benchmark
+
+__all__ = ["BenchRun", "Problem", "extrapolated_seconds", "BENCHMARKS",
+           "get_benchmark"]

@@ -1,0 +1,156 @@
+"""Workload generators for the benchmark suite.
+
+Everything is seeded and deterministic so every table/figure regenerates
+identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_vector(n: int, dtype=np.float32, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random(n).astype(dtype)
+
+
+def random_matrix(rows: int, cols: int, dtype=np.float32,
+                  seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((rows, cols)).astype(dtype)
+
+
+def random_csr(n: int, density: float = 0.01, seed: int = 13,
+               dtype=np.float32, per_row: int | None = None):
+    """A random n x n CSR matrix like the paper's spmv input
+    ("16Kx16K matrix with a 1% of non zeros").
+
+    Returns ``(values, cols, rowptr)`` with int32 index arrays, built
+    without scipy so the generator itself is part of the reproduction.
+    Every row gets the same number of nonzeros (round(density * n),
+    at least 1, or ``per_row`` if given — scaled benchmark runs pin it to
+    the paper's per-row count so the work mix stays scale-invariant),
+    matching how SHOC generates its padded CSR inputs.
+    """
+    rng = np.random.default_rng(seed)
+    if per_row is None:
+        per_row = max(1, int(round(density * n)))
+    per_row = min(per_row, n)
+    rowptr = np.arange(0, (n + 1) * per_row, per_row, dtype=np.int32)
+    cols = np.empty(n * per_row, dtype=np.int32)
+    for r in range(n):
+        cols[r * per_row:(r + 1) * per_row] = np.sort(
+            rng.choice(n, size=per_row, replace=False))
+    values = rng.random(n * per_row).astype(dtype)
+    return values, cols, rowptr
+
+
+def csr_matvec_reference(values, cols, rowptr, x) -> np.ndarray:
+    """Serial CSR y = A @ x in float64 then cast, the correctness oracle."""
+    n = len(rowptr) - 1
+    y = np.zeros(n, dtype=np.float64)
+    v64 = values.astype(np.float64)
+    x64 = x.astype(np.float64)
+    for r in range(n):
+        lo, hi = rowptr[r], rowptr[r + 1]
+        y[r] = np.dot(v64[lo:hi], x64[cols[lo:hi]])
+    return y.astype(values.dtype)
+
+
+def random_graph_distances(n: int, seed: int = 17,
+                           max_weight: int = 10) -> np.ndarray:
+    """A dense weighted digraph as an adjacency/distance matrix for
+    Floyd-Warshall (int32, diagonal 0), as the AMD APP sample generates."""
+    rng = np.random.default_rng(seed)
+    dist = rng.integers(1, max_weight + 1, size=(n, n), dtype=np.int32)
+    np.fill_diagonal(dist, 0)
+    return dist
+
+
+def floyd_warshall_reference(dist: np.ndarray) -> np.ndarray:
+    """Vectorised Floyd-Warshall oracle (O(n^3) with NumPy inner step)."""
+    d = dist.astype(np.int64).copy()
+    n = d.shape[0]
+    for k in range(n):
+        np.minimum(d, d[:, k:k + 1] + d[k:k + 1, :], out=d)
+    return d.astype(np.int32)
+
+
+# -- NAS EP ---------------------------------------------------------------------
+
+#: class name -> log2 of the number of random pairs (NPB 3.x EP classes)
+EP_CLASSES = {"S": 24, "W": 25, "A": 28, "B": 30, "C": 32}
+
+EP_A = 1220703125.0      # = 5^13, the NPB LCG multiplier
+EP_SEED = 271828183.0
+
+_R23 = 2.0 ** -23
+_T23 = 2.0 ** 23
+_R46 = 2.0 ** -46
+_T46 = 2.0 ** 46
+
+
+def randlc(x: float, a: float) -> tuple[float, float]:
+    """One step of the NPB 2^46 LCG: returns (uniform in (0,1), new x)."""
+    t1 = _R23 * a
+    a1 = float(int(t1))
+    a2 = a - _T23 * a1
+    t1 = _R23 * x
+    x1 = float(int(t1))
+    x2 = x - _T23 * x1
+    t1 = a1 * x2 + a2 * x1
+    t2 = float(int(_R23 * t1))
+    z = t1 - _T23 * t2
+    t3 = _T23 * z + a2 * x2
+    t4 = float(int(_R46 * t3))
+    x_new = t3 - _T46 * t4
+    return _R46 * x_new, x_new
+
+
+def lcg_power(a: float, n: int) -> float:
+    """a^n mod 2^46 in the double-encoded LCG group (for seed jumps)."""
+    b = 1.0
+    g = a
+    while n > 0:
+        if n % 2 == 1:
+            _, b = randlc(b, g)
+        _, g = randlc(g, g)
+        n //= 2
+    return b
+
+
+def ep_reference(m: int, seed: float = EP_SEED,
+                 a: float = EP_A) -> tuple[float, float, np.ndarray]:
+    """Serial NAS EP for 2^m pairs: (sum_x, sum_y, annulus counts).
+
+    Vectorised with NumPy in blocks, but bit-identical to the scalar NPB
+    algorithm (the LCG is evaluated exactly in doubles).
+    """
+    n_pairs = 1 << m
+    q = np.zeros(10, dtype=np.int64)
+    sx = 0.0
+    sy = 0.0
+    block = 1 << 16
+    x = seed
+    done = 0
+    while done < n_pairs:
+        count = min(block, n_pairs - done)
+        uni = np.empty(2 * count)
+        for i in range(2 * count):
+            uni[i], x = randlc(x, a)
+        t1 = 2.0 * uni[0::2] - 1.0
+        t2 = 2.0 * uni[1::2] - 1.0
+        tsq = t1 * t1 + t2 * t2
+        accept = tsq <= 1.0
+        t1a, t2a, tsqa = t1[accept], t2[accept], tsq[accept]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fac = np.sqrt(-2.0 * np.log(tsqa) / tsqa)
+        gx = t1a * fac
+        gy = t2a * fac
+        l = np.minimum(np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64),
+                       9)
+        np.add.at(q, l, 1)
+        sx += float(gx.sum())
+        sy += float(gy.sum())
+        done += count
+    return sx, sy, q

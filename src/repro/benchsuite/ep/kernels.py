@@ -1,0 +1,76 @@
+"""OpenCL C kernel for NAS EP (hand-written baseline version)."""
+
+EP_OPENCL_SOURCE = r"""
+/* NAS EP - OpenCL C version.
+ * Each work-item generates NK pairs from the NPB 2^46 LCG, starting at
+ * its own jump-ahead seed, and accumulates partial sums and annulus
+ * counts which the host reduces. */
+
+#define R23 1.1920928955078125e-07
+#define T23 8388608.0
+#define R46 1.4210854715202004e-14
+#define T46 70368744177664.0
+
+double lcg_next(double x, double a) {
+    double t1 = R23 * a;
+    double a1 = trunc(t1);
+    double a2 = a - T23 * a1;
+    double t2 = R23 * x;
+    double x1 = trunc(t2);
+    double x2 = x - T23 * x1;
+    double t3 = a1 * x2 + a2 * x1;
+    double t4 = trunc(R23 * t3);
+    double z = t3 - T23 * t4;
+    double t5 = T23 * z + a2 * x2;
+    double t6 = trunc(R46 * t5);
+    return t5 - T46 * t6;
+}
+
+double lcg_power(double a, long n) {
+    double b = 1.0;
+    double g = a;
+    long i = n;
+    while (i > 0) {
+        if (i % 2 == 1) {
+            b = lcg_next(b, g);
+        }
+        g = lcg_next(g, g);
+        i = i / 2;
+    }
+    return b;
+}
+
+__kernel void ep(__global double* sx_out, __global double* sy_out,
+                 __global int* q_out, long nk, double seed, double a) {
+    int gid = get_global_id(0);
+    long offset = (long)gid * nk * 2;
+    double x = lcg_next(seed, lcg_power(a, offset));
+    double sx = 0.0;
+    double sy = 0.0;
+    int qq[10];
+    for (int l = 0; l < 10; l++) {
+        qq[l] = 0;
+    }
+    for (long i = 0; i < nk; i++) {
+        x = lcg_next(x, a);
+        double t1 = 2.0 * (R46 * x) - 1.0;
+        x = lcg_next(x, a);
+        double t2 = 2.0 * (R46 * x) - 1.0;
+        double tsq = t1 * t1 + t2 * t2;
+        if (tsq <= 1.0) {
+            double fac = sqrt(-2.0 * log(tsq) / tsq);
+            double gx = t1 * fac;
+            double gy = t2 * fac;
+            int l = (int)fmax(fabs(gx), fabs(gy));
+            qq[min(l, 9)] += 1;
+            sx += gx;
+            sy += gy;
+        }
+    }
+    sx_out[gid] = sx;
+    sy_out[gid] = sy;
+    for (int l = 0; l < 10; l++) {
+        q_out[gid * 10 + l] = qq[l];
+    }
+}
+"""

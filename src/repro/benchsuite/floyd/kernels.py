@@ -1,0 +1,19 @@
+"""OpenCL C kernel for Floyd-Warshall (hand-written baseline version)."""
+
+FLOYD_OPENCL_SOURCE = r"""
+/* Floyd-Warshall pass for pivot k, AMD APP SDK style: each work-item
+ * relaxes path (y, x) through k.  The host enqueues one pass per pivot. */
+__kernel void floydWarshallPass(__global int* pathDistance,
+                                int numNodes, int pass) {
+    int x = get_global_id(0);
+    int y = get_global_id(1);
+    int k = pass;
+
+    int oldWeight = pathDistance[y * numNodes + x];
+    int tempWeight = pathDistance[y * numNodes + k]
+                   + pathDistance[k * numNodes + x];
+    if (tempWeight < oldWeight) {
+        pathDistance[y * numNodes + x] = tempWeight;
+    }
+}
+"""

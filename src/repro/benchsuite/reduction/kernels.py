@@ -1,0 +1,37 @@
+"""OpenCL C kernel for the SHOC-style parallel sum reduction."""
+
+REDUCTION_OPENCL_SOURCE = r"""
+/* Sum reduction, SHOC style: a grid-stride loop accumulates into a
+ * register, the group tree-reduces through local memory, and thread 0
+ * writes one partial per group.  The local buffer arrives as a
+ * size-only kernel argument. */
+
+__kernel void reduce(__global const float* g_idata,
+                     __global float* g_odata,
+                     __local float* sdata,
+                     int n) {
+    int tid = get_local_id(0);
+    int gsz = get_local_size(0);
+    int i = get_global_id(0);
+    int stride = get_global_size(0);
+
+    float sum = 0.0f;
+    while (i < n) {
+        sum += g_idata[i];
+        i += stride;
+    }
+    sdata[tid] = sum;
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    for (int s = gsz / 2; s > 0; s = s / 2) {
+        if (tid < s) {
+            sdata[tid] += sdata[tid + s];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+
+    if (tid == 0) {
+        g_odata[get_group_id(0)] = sdata[0];
+    }
+}
+"""

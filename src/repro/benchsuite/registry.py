@@ -1,0 +1,19 @@
+"""Registry of the five paper benchmarks (filled as modules load)."""
+
+from __future__ import annotations
+
+from importlib import import_module
+
+#: benchmark name -> module path within repro.benchsuite
+BENCHMARKS = {
+    "ep": "repro.benchsuite.ep",
+    "floyd": "repro.benchsuite.floyd",
+    "transpose": "repro.benchsuite.transpose",
+    "spmv": "repro.benchsuite.spmv",
+    "reduction": "repro.benchsuite.reduction",
+}
+
+
+def get_benchmark(name: str):
+    """Import and return the benchmark module registered as ``name``."""
+    return import_module(BENCHMARKS[name])

@@ -1,0 +1,87 @@
+"""Text rendering of the runner's results in the paper's format."""
+
+from __future__ import annotations
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def format_table1(rows: list[dict]) -> str:
+    """Render Table I (SLOC comparison)."""
+    out = ["Table I: SLOCs for the OpenCL and HPL versions of the "
+           "benchmarks", _rule(),
+           f"{'Benchmark':<20}{'OpenCL':>10}{'HPL':>10}"
+           f"{'Reduction':>12}{'Ratio':>8}", _rule()]
+    for r in rows:
+        out.append(f"{r['benchmark']:<20}{r['opencl_sloc']:>10}"
+                   f"{r['hpl_sloc']:>10}{r['reduction_pct']:>11.1f}%"
+                   f"{r['ratio']:>7.1f}x")
+    out.append(_rule())
+    return "\n".join(out)
+
+
+def format_fig6(rows: list[dict]) -> str:
+    """Render Figure 6 (EP speedups per class) as a table of series."""
+    out = ["Figure 6: EP speedup over serial CPU per problem size",
+           _rule(),
+           f"{'Class':<8}{'OpenCL x':>12}{'HPL x':>12}"
+           f"{'HPL slowdown':>16}", _rule()]
+    for r in rows:
+        slowdown = 100.0 * (r["opencl_speedup"] / r["hpl_speedup"] - 1.0)
+        out.append(f"{r['class']:<8}{r['opencl_speedup']:>12.1f}"
+                   f"{r['hpl_speedup']:>12.1f}{slowdown:>15.2f}%")
+    out.append(_rule())
+    return "\n".join(out)
+
+
+def format_fig7(rows: list[dict]) -> str:
+    """Render Figure 7 (speedups of all benchmarks)."""
+    out = ["Figure 7: speedups over serial CPU (Tesla C2050/C2070)",
+           _rule(),
+           f"{'Benchmark':<20}{'OpenCL x':>12}{'HPL x':>12}", _rule()]
+    for r in rows:
+        out.append(f"{r['benchmark']:<20}{r['opencl_speedup']:>12.1f}"
+                   f"{r['hpl_speedup']:>12.1f}")
+    out.append(_rule())
+    return "\n".join(out)
+
+
+def format_fig8(rows: list[dict], include_transfers: bool = False) -> str:
+    """Render Figure 8 (slowdown of HPL vs OpenCL)."""
+    title = "Figure 8: slowdown of HPL with respect to OpenCL"
+    if include_transfers:
+        title += " (transfers counted)"
+    out = [title, _rule(),
+           f"{'Benchmark':<20}{'OpenCL s':>12}{'HPL s':>12}"
+           f"{'Slowdown':>12}", _rule()]
+    for r in rows:
+        out.append(f"{r['benchmark']:<20}{r['opencl_seconds']:>12.4f}"
+                   f"{r['hpl_seconds']:>12.4f}"
+                   f"{r['slowdown_pct']:>11.2f}%")
+    out.append(_rule())
+    return "\n".join(out)
+
+
+def format_fig9(rows: list[dict]) -> str:
+    """Render Figure 9 (overhead on Tesla and Quadro)."""
+    out = ["Figure 9: HPL overhead vs OpenCL on both GPUs", _rule(),
+           f"{'Benchmark':<20}{'GPU':<22}{'Slowdown':>12}", _rule()]
+    for r in rows:
+        out.append(f"{r['benchmark']:<20}{r['gpu']:<22}"
+                   f"{r['slowdown_pct']:>11.2f}%")
+    out.append(_rule())
+    return "\n".join(out)
+
+
+def format_warm_cache(row: dict) -> str:
+    """Render the §V-B first-vs-later invocation comparison."""
+    out = ["§V-B: kernel binary reuse (EP class " + row["class"] + ")",
+           _rule(),
+           f"OpenCL:          {row['opencl_seconds']:.4f} s",
+           f"HPL first call:  {row['hpl_cold_seconds']:.4f} s "
+           f"({row['cold_slowdown_pct']:+.2f}%)",
+           f"HPL second call: {row['hpl_warm_seconds']:.4f} s "
+           f"({row['warm_slowdown_pct']:+.2f}%)",
+           _rule()]
+    return "\n".join(out)

@@ -1,0 +1,37 @@
+"""OpenCL C kernel for CSR spmv (baseline; mirrors paper Figure 5(b))."""
+
+SPMV_OPENCL_SOURCE = r"""
+/* CSR sparse matrix-vector product, SHOC style: one work-group of M
+ * threads per row; threads stride the row's nonzeros and tree-reduce
+ * their partial sums in local memory. */
+
+#define M 8
+
+__kernel void spmv(__global const float* A, __global const float* vec,
+                   __global const int* cols, __global const int* rowptr,
+                   __global float* out) {
+    int row = get_group_id(0);
+    int lid = get_local_id(0);
+
+    float mySum = 0.0f;
+    for (int j = rowptr[row] + lid; j < rowptr[row + 1]; j += M) {
+        mySum += A[j] * vec[cols[j]];
+    }
+
+    __local float sdata[M];
+    sdata[lid] = mySum;
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    if (lid < 4) {
+        sdata[lid] += sdata[lid + 4];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid < 2) {
+        sdata[lid] += sdata[lid + 2];
+    }
+    barrier(CLK_LOCAL_MEM_FENCE);
+    if (lid == 0) {
+        out[row] = sdata[0] + sdata[1];
+    }
+}
+"""

@@ -1,0 +1,86 @@
+# NAS EP written with HPL: device discovery, buffers, transfers and
+# kernel compilation are all implicit.
+import sys
+
+import numpy as np
+
+from repro.hpl import (Array, Double, Int, Long, cast, double_, endfor_,
+                       endif_, endwhile_, eval, fabs, fmax, for_, idx, if_,
+                       int_, log, long_, min_, sqrt, trunc, while_)
+
+SEED = 271828183.0
+MULTIPLIER = 1220703125.0
+WORK_ITEMS = 256
+R23, T23 = 2.0 ** -23, 2.0 ** 23
+R46, T46 = 2.0 ** -46, 2.0 ** 46
+
+
+def lcg_next(x, a):
+    a1 = Double(); a1.assign(trunc(R23 * a))
+    a2 = Double(); a2.assign(a - T23 * a1)
+    x1 = Double(); x1.assign(trunc(R23 * x))
+    x2 = Double(); x2.assign(x - T23 * x1)
+    t = Double(); t.assign(a1 * x2 + a2 * x1)
+    z = Double(); z.assign(t - T23 * trunc(R23 * t))
+    t5 = Double(); t5.assign(T23 * z + a2 * x2)
+    return t5 - T46 * trunc(R46 * t5)
+
+
+def ep(sx_out, sy_out, q_out, nk, seed, a):
+    b = Double(1.0)
+    g = Double(); g.assign(a)
+    i = Long(); i.assign(cast(idx, long_) * nk * 2)
+    while_(i > 0)
+    if_(i % 2 == 1)
+    b.assign(lcg_next(b, g))
+    endif_()
+    g.assign(lcg_next(g, g))
+    i.assign(i / 2)
+    endwhile_()
+    x = Double(); x.assign(lcg_next(seed, b))
+    sx, sy = Double(0.0), Double(0.0)
+    qq = Array(int_, 10)
+    l = Int()
+    for_(l, 0, 10)
+    qq[l] = 0
+    endfor_()
+    k = Long()
+    for_(k, 0, nk)
+    x.assign(lcg_next(x, a))
+    t1 = Double(); t1.assign(2.0 * (R46 * x) - 1.0)
+    x.assign(lcg_next(x, a))
+    t2 = Double(); t2.assign(2.0 * (R46 * x) - 1.0)
+    tsq = Double(); tsq.assign(t1 * t1 + t2 * t2)
+    if_(tsq <= 1.0)
+    fac = Double(); fac.assign(sqrt(-2.0 * log(tsq) / tsq))
+    gx = Double(); gx.assign(t1 * fac)
+    gy = Double(); gy.assign(t2 * fac)
+    qq[min_(cast(fmax(fabs(gx), fabs(gy)), int_), 9)] += 1
+    sx += gx
+    sy += gy
+    endif_()
+    endfor_()
+    sx_out[idx] = sx
+    sy_out[idx] = sy
+    for_(l, 0, 10)
+    q_out[idx * 10 + l] = qq[l]
+    endfor_()
+
+
+def main(m=16):
+    sx_out = Array(double_, WORK_ITEMS)
+    sy_out = Array(double_, WORK_ITEMS)
+    q_out = Array(int_, WORK_ITEMS * 10)
+    nk = (1 << m) // WORK_ITEMS
+    eval(ep).local_(64)(sx_out, sy_out, q_out, Long(nk), Double(SEED),
+                        Double(MULTIPLIER))
+    sx = float(sx_out.read().sum())
+    sy = float(sy_out.read().sum())
+    q = q_out.read().reshape(WORK_ITEMS, 10).sum(axis=0)
+    print(f"EP m={m}: sx={sx:.8f} sy={sy:.8f}")
+    print("counts:", " ".join(str(int(c)) for c in q))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 16))

@@ -1,0 +1,153 @@
+# NAS EP written directly against the OpenCL host API (SimCL).
+# Complete program: environment setup, kernel compilation, buffer
+# management, transfers, launch, host-side reduction and verification.
+import sys
+
+import numpy as np
+
+import repro.ocl as cl
+
+KERNEL_SOURCE = r"""
+#define R23 1.1920928955078125e-07
+#define T23 8388608.0
+#define R46 1.4210854715202004e-14
+#define T46 70368744177664.0
+
+double lcg_next(double x, double a) {
+    double t1 = R23 * a;
+    double a1 = trunc(t1);
+    double a2 = a - T23 * a1;
+    double t2 = R23 * x;
+    double x1 = trunc(t2);
+    double x2 = x - T23 * x1;
+    double t3 = a1 * x2 + a2 * x1;
+    double t4 = trunc(R23 * t3);
+    double z = t3 - T23 * t4;
+    double t5 = T23 * z + a2 * x2;
+    double t6 = trunc(R46 * t5);
+    return t5 - T46 * t6;
+}
+
+double lcg_power(double a, long n) {
+    double b = 1.0;
+    double g = a;
+    long i = n;
+    while (i > 0) {
+        if (i % 2 == 1) {
+            b = lcg_next(b, g);
+        }
+        g = lcg_next(g, g);
+        i = i / 2;
+    }
+    return b;
+}
+
+__kernel void ep(__global double* sx_out, __global double* sy_out,
+                 __global int* q_out, long nk, double seed, double a) {
+    int gid = get_global_id(0);
+    long offset = (long)gid * nk * 2;
+    double x = lcg_next(seed, lcg_power(a, offset));
+    double sx = 0.0;
+    double sy = 0.0;
+    int qq[10];
+    for (int l = 0; l < 10; l++) {
+        qq[l] = 0;
+    }
+    for (long i = 0; i < nk; i++) {
+        x = lcg_next(x, a);
+        double t1 = 2.0 * (R46 * x) - 1.0;
+        x = lcg_next(x, a);
+        double t2 = 2.0 * (R46 * x) - 1.0;
+        double tsq = t1 * t1 + t2 * t2;
+        if (tsq <= 1.0) {
+            double fac = sqrt(-2.0 * log(tsq) / tsq);
+            double gx = t1 * fac;
+            double gy = t2 * fac;
+            int l = (int)fmax(fabs(gx), fabs(gy));
+            qq[min(l, 9)] += 1;
+            sx += gx;
+            sy += gy;
+        }
+    }
+    sx_out[gid] = sx;
+    sy_out[gid] = sy;
+    for (int l = 0; l < 10; l++) {
+        q_out[gid * 10 + l] = qq[l];
+    }
+}
+"""
+
+SEED = 271828183.0
+MULTIPLIER = 1220703125.0
+WORK_ITEMS = 256
+LOCAL_SIZE = 64
+
+
+def main(m=16):
+    n_pairs = 1 << m
+    nk = n_pairs // WORK_ITEMS
+    if nk == 0:
+        print("problem too small", file=sys.stderr)
+        return 1
+
+    # environment setup
+    platforms = cl.get_platforms()
+    if not platforms:
+        print("no OpenCL platform available", file=sys.stderr)
+        return 1
+    gpus = platforms[0].get_devices(cl.device_type.GPU)
+    fp64_gpus = [d for d in gpus if d.supports_fp64]
+    if not fp64_gpus:
+        print("EP needs a double-precision device", file=sys.stderr)
+        return 1
+    device = fp64_gpus[0]
+    context = cl.Context([device])
+    queue = cl.CommandQueue(context, device, profiling=True)
+
+    # kernel compilation, surfacing the build log on failure
+    program = cl.Program(context, KERNEL_SOURCE)
+    try:
+        program.build()
+    except Exception:
+        print(program.build_log, file=sys.stderr)
+        return 1
+    kernel = program.create_kernel("ep")
+
+    # device buffers
+    mf = cl.mem_flags
+    sx_buf = cl.Buffer(context, mf.WRITE_ONLY, size=WORK_ITEMS * 8)
+    sy_buf = cl.Buffer(context, mf.WRITE_ONLY, size=WORK_ITEMS * 8)
+    q_buf = cl.Buffer(context, mf.WRITE_ONLY, size=WORK_ITEMS * 10 * 4)
+
+    # argument binding and launch
+    kernel.set_arg(0, sx_buf)
+    kernel.set_arg(1, sy_buf)
+    kernel.set_arg(2, q_buf)
+    kernel.set_arg(3, np.int64(nk))
+    kernel.set_arg(4, SEED)
+    kernel.set_arg(5, MULTIPLIER)
+    event = queue.enqueue_nd_range_kernel(kernel, (WORK_ITEMS,),
+                                          (LOCAL_SIZE,))
+
+    # read back partial results
+    sx_part = np.empty(WORK_ITEMS, dtype=np.float64)
+    sy_part = np.empty(WORK_ITEMS, dtype=np.float64)
+    q_part = np.empty(WORK_ITEMS * 10, dtype=np.int32)
+    queue.enqueue_read_buffer(sx_buf, sx_part)
+    queue.enqueue_read_buffer(sy_buf, sy_part)
+    queue.enqueue_read_buffer(q_buf, q_part)
+    queue.finish()
+
+    # final reduction on the host
+    sx = float(sx_part.sum())
+    sy = float(sy_part.sum())
+    q = q_part.reshape(WORK_ITEMS, 10).sum(axis=0)
+
+    print(f"EP m={m}: sx={sx:.8f} sy={sy:.8f}")
+    print("counts:", " ".join(str(int(c)) for c in q))
+    print(f"kernel time: {event.duration * 1e3:.3f} ms (simulated)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 16))

@@ -1,0 +1,34 @@
+"""OpenCL C kernel for blocked matrix transpose (baseline version)."""
+
+TRANSPOSE_OPENCL_SOURCE = r"""
+/* Blocked matrix transpose, AMD APP SDK style: a BLOCK x BLOCK tile is
+ * read with coalesced accesses into local memory, then written back
+ * transposed with coalesced accesses. */
+
+#define BLOCK 16
+
+__kernel void matrixTranspose(__global float* output,
+                              __global const float* input,
+                              int width, int height) {
+    __local float tile[BLOCK * BLOCK];
+
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int lx = get_local_id(0);
+    int ly = get_local_id(1);
+
+    /* coalesced read of the tile (gx varies fastest along a row) */
+    tile[ly * BLOCK + lx] = input[gy * width + gx];
+
+    barrier(CLK_LOCAL_MEM_FENCE);
+
+    /* destination tile origin: blocks swap coordinates */
+    int bx = get_group_id(0) * BLOCK;
+    int by = get_group_id(1) * BLOCK;
+    int ox = by + lx;
+    int oy = bx + ly;
+
+    /* coalesced write of the transposed tile */
+    output[oy * height + ox] = tile[lx * BLOCK + ly];
+}
+"""

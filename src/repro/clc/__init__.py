@@ -1,0 +1,37 @@
+"""``repro.clc`` — a compiler for the OpenCL C subset used by SimCL.
+
+The pipeline is the classic one::
+
+    source --preprocess--> text --lex--> tokens --parse--> AST
+           --sema--> typed ProgramIR
+
+:func:`compile_source` runs the whole pipeline.  The resulting
+:class:`~repro.clc.ir.ProgramIR` is what the execution engines in
+:mod:`repro.ocl.engines` consume.
+"""
+
+from __future__ import annotations
+
+from .ir import Function, ProgramIR
+from .lexer import tokenize
+from .parser import parse
+from .preprocessor import preprocess
+from .sema import analyze
+
+__all__ = ["compile_source", "preprocess", "tokenize", "parse", "analyze",
+           "ProgramIR", "Function"]
+
+
+def compile_source(source: str, options: str = "",
+                   filename: str = "<kernel>") -> ProgramIR:
+    """Compile OpenCL C ``source`` (with build ``options``) to program IR.
+
+    Raises :class:`repro.errors.CompileError` subclasses on any problem,
+    carrying ``line``/``col`` information like a real OpenCL build log.
+    """
+    text = preprocess(source, options, filename)
+    tokens = tokenize(text, filename)
+    unit = parse(tokens, filename)
+    program = analyze(unit, filename)
+    program.source = source
+    return program

@@ -1,0 +1,134 @@
+"""Builtin function table for the OpenCL C subset.
+
+Each entry describes the arity, the result-type rule and (for the engines)
+the NumPy implementation of the builtin.  Work-item query functions and
+``barrier`` are special-cased in sema/engines and do not appear here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .types import (DOUBLE, FLOAT, ScalarType,
+                    usual_arithmetic_conversion)
+
+# result-type rules ------------------------------------------------------------
+
+def _float_common(args: list[ScalarType]) -> ScalarType:
+    """double wins; otherwise float (integers convert to float)."""
+    return DOUBLE if DOUBLE in args else FLOAT
+
+
+def _int_common(args: list[ScalarType]) -> ScalarType:
+    t = args[0]
+    for a in args[1:]:
+        t = usual_arithmetic_conversion(t, a)
+    return t
+
+
+def _same_as_args(args: list[ScalarType]) -> ScalarType:
+    t = args[0]
+    for a in args[1:]:
+        t = usual_arithmetic_conversion(t, a)
+    return t
+
+
+@dataclass(frozen=True)
+class Builtin:
+    name: str
+    arity: int
+    result_rule: Callable
+    impl: Callable
+    #: relative cost in "ALU op" units used by the device cost model
+    cost: float = 1.0
+    #: True when the function only makes sense for floating-point args
+    float_only: bool = False
+
+
+def _np_clamp(x, lo, hi):
+    return np.minimum(np.maximum(x, lo), hi)
+
+
+def _np_mad(a, b, c):
+    return a * b + c
+
+
+def _np_rsqrt(x):
+    return 1.0 / np.sqrt(x)
+
+
+BUILTINS: dict[str, Builtin] = {}
+
+
+def _register(name: str, arity: int, rule, impl, cost: float = 1.0,
+              float_only: bool = False) -> None:
+    BUILTINS[name] = Builtin(name, arity, rule, impl, cost, float_only)
+
+
+# transcendental / float math (costs roughly follow GPU SFU throughput)
+_register("sqrt", 1, _float_common, np.sqrt, cost=8.0, float_only=True)
+_register("rsqrt", 1, _float_common, _np_rsqrt, cost=8.0, float_only=True)
+_register("cbrt", 1, _float_common, np.cbrt, cost=12.0, float_only=True)
+_register("exp", 1, _float_common, np.exp, cost=10.0, float_only=True)
+_register("exp2", 1, _float_common, np.exp2, cost=10.0, float_only=True)
+_register("log", 1, _float_common, np.log, cost=10.0, float_only=True)
+_register("log2", 1, _float_common, np.log2, cost=10.0, float_only=True)
+_register("log10", 1, _float_common, np.log10, cost=10.0, float_only=True)
+_register("sin", 1, _float_common, np.sin, cost=10.0, float_only=True)
+_register("cos", 1, _float_common, np.cos, cost=10.0, float_only=True)
+_register("tan", 1, _float_common, np.tan, cost=12.0, float_only=True)
+_register("asin", 1, _float_common, np.arcsin, cost=12.0, float_only=True)
+_register("acos", 1, _float_common, np.arccos, cost=12.0, float_only=True)
+_register("atan", 1, _float_common, np.arctan, cost=12.0, float_only=True)
+_register("atan2", 2, _float_common, np.arctan2, cost=16.0, float_only=True)
+_register("pow", 2, _float_common, np.power, cost=20.0, float_only=True)
+_register("fabs", 1, _float_common, np.abs, cost=1.0, float_only=True)
+_register("floor", 1, _float_common, np.floor, cost=1.0, float_only=True)
+_register("ceil", 1, _float_common, np.ceil, cost=1.0, float_only=True)
+_register("trunc", 1, _float_common, np.trunc, cost=1.0, float_only=True)
+_register("round", 1, _float_common, np.round, cost=2.0, float_only=True)
+_register("fmod", 2, _float_common, np.fmod, cost=12.0, float_only=True)
+_register("fmin", 2, _float_common, np.minimum, cost=1.0, float_only=True)
+_register("fmax", 2, _float_common, np.maximum, cost=1.0, float_only=True)
+_register("fma", 3, _float_common, _np_mad, cost=1.0, float_only=True)
+_register("mad", 3, _float_common, _np_mad, cost=1.0, float_only=True)
+_register("hypot", 2, _float_common, np.hypot, cost=16.0, float_only=True)
+
+# native_* aliases map to the same implementations (OpenCL fast variants)
+for _fast in ("sqrt", "rsqrt", "exp", "log", "log2", "sin", "cos", "tan",
+              "powr"):
+    base = "pow" if _fast == "powr" else _fast
+    if base in BUILTINS:
+        b = BUILTINS[base]
+        _register("native_" + _fast, b.arity, b.result_rule, b.impl,
+                  cost=max(1.0, b.cost / 2), float_only=True)
+
+# integer / common
+_register("abs", 1, _int_common, np.abs, cost=1.0)
+_register("min", 2, _same_as_args, np.minimum, cost=1.0)
+_register("max", 2, _same_as_args, np.maximum, cost=1.0)
+_register("clamp", 3, _same_as_args, _np_clamp, cost=2.0)
+_register("mul24", 2, _int_common, lambda a, b: a * b, cost=1.0)
+_register("mad24", 3, _int_common, lambda a, b, c: a * b + c, cost=1.0)
+
+#: work-item query functions: name -> dimension-indexed engine hook
+WORKITEM_FUNCTIONS = frozenset({
+    "get_global_id", "get_local_id", "get_group_id",
+    "get_global_size", "get_local_size", "get_num_groups",
+    "get_work_dim", "get_global_offset",
+})
+
+#: atomic read-modify-write builtins handled as statements
+ATOMIC_FUNCTIONS = {
+    "atomic_add": "add",
+    "atomic_sub": "sub",
+    "atomic_inc": "inc",
+    "atomic_dec": "dec",
+    "atomic_min": "min",
+    "atomic_max": "max",
+    "atom_add": "add",    # 64-bit spelling from cl_khr_int64_base_atomics
+    "atom_inc": "inc",
+}

@@ -1,0 +1,166 @@
+"""Tokenizer for the OpenCL C subset.
+
+Operates on preprocessed source (see :mod:`repro.clc.preprocessor`), but is
+self-contained: it also skips ``//`` and ``/* */`` comments so it can be used
+directly on comment-bearing text in tests.
+"""
+
+from __future__ import annotations
+
+from ..errors import LexError
+from .tokens import (EOF, FLOAT_LIT, IDENT, INT_LIT, KEYWORD, KEYWORDS, PUNCT,
+                     PUNCTUATORS, Token)
+
+_IDENT_START = frozenset("abcdefghijklmnopqrstuvwxyz"
+                         "ABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_DIGITS = frozenset("0123456789")
+_IDENT_CONT = _IDENT_START | _DIGITS
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+class Lexer:
+    """Single-pass tokenizer producing a list of :class:`Token`.
+
+    Parameters
+    ----------
+    source:
+        The text to tokenize.
+    filename:
+        Used in diagnostics only.
+    """
+
+    def __init__(self, source: str, filename: str = "<kernel>") -> None:
+        self.src = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- public API ---------------------------------------------------------
+
+    def tokenize(self) -> list[Token]:
+        """Tokenize the whole input, appending a final EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_ws_and_comments()
+            if self.pos >= len(self.src):
+                tokens.append(Token(EOF, "", self.line, self.col))
+                return tokens
+            tokens.append(self._next_token())
+
+    # -- internals ----------------------------------------------------------
+
+    def _error(self, msg: str) -> LexError:
+        return LexError(msg, self.line, self.col, self.filename)
+
+    def _advance(self, n: int = 1) -> None:
+        for _ in range(n):
+            if self.pos < len(self.src) and self.src[self.pos] == "\n":
+                self.line += 1
+                self.col = 1
+            else:
+                self.col += 1
+            self.pos += 1
+
+    def _peek(self, off: int = 0) -> str:
+        i = self.pos + off
+        return self.src[i] if i < len(self.src) else ""
+
+    def _skip_ws_and_comments(self) -> None:
+        while self.pos < len(self.src):
+            c = self.src[self.pos]
+            if c in " \t\r\n\f\v":
+                self._advance()
+            elif c == "/" and self._peek(1) == "/":
+                while self.pos < len(self.src) and self.src[self.pos] != "\n":
+                    self._advance()
+            elif c == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.col
+                self._advance(2)
+                while self.pos < len(self.src):
+                    if self.src[self.pos] == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError("unterminated block comment",
+                                   start_line, start_col, self.filename)
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        line, col = self.line, self.col
+        c = self.src[self.pos]
+
+        if c in _IDENT_START:
+            start = self.pos
+            while self.pos < len(self.src) and self.src[self.pos] in _IDENT_CONT:
+                self._advance()
+            word = self.src[start:self.pos]
+            kind = KEYWORD if word in KEYWORDS else IDENT
+            return Token(kind, word, line, col)
+
+        if c in _DIGITS or (c == "." and self._peek(1) in _DIGITS):
+            return self._lex_number(line, col)
+
+        for p in PUNCTUATORS:
+            if self.src.startswith(p, self.pos):
+                self._advance(len(p))
+                return Token(PUNCT, p, line, col)
+
+        raise self._error(f"unexpected character {c!r}")
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self.pos
+        src = self.src
+        is_float = False
+
+        if src[self.pos] == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            if self._peek() not in _HEX_DIGITS:
+                raise self._error("malformed hex literal")
+            while self._peek() in _HEX_DIGITS:
+                self._advance()
+            digits = src[start:self.pos]
+            value: object = int(digits, 16)
+        else:
+            while self._peek() in _DIGITS:
+                self._advance()
+            if self._peek() == ".":
+                is_float = True
+                self._advance()
+                while self._peek() in _DIGITS:
+                    self._advance()
+            if self._peek() in ("e", "E"):
+                save = self.pos
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                if self._peek() in _DIGITS:
+                    is_float = True
+                    while self._peek() in _DIGITS:
+                        self._advance()
+                else:  # not an exponent after all (e.g. `1e` then ident)
+                    while self.pos > save:
+                        self.pos -= 1
+                        self.col -= 1
+            digits = src[start:self.pos]
+            value = float(digits) if is_float else int(digits, 10)
+
+        suffix_start = self.pos
+        while self._peek() and self._peek() in "uUlLfF":
+            self._advance()
+        suffix = src[suffix_start:self.pos].lower()
+
+        if "f" in suffix:
+            is_float = True
+            value = float(value)
+
+        kind = FLOAT_LIT if is_float else INT_LIT
+        return Token(kind, src[start:self.pos], line, col,
+                     parsed=value, suffix=suffix)
+
+
+def tokenize(source: str, filename: str = "<kernel>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` into a token list."""
+    return Lexer(source, filename).tokenize()

@@ -1,0 +1,68 @@
+"""Token definitions for the OpenCL C subset compiler.
+
+The lexer produces a flat list of :class:`Token` objects.  Token kinds are
+simple strings (an enum adds nothing here and string kinds keep the parser
+tables readable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds -----------------------------------------------------------------
+
+IDENT = "ident"
+KEYWORD = "keyword"
+INT_LIT = "int_lit"
+FLOAT_LIT = "float_lit"
+PUNCT = "punct"        # operators and punctuation
+EOF = "eof"
+
+#: All reserved words recognised by the subset.  Address-space qualifiers are
+#: accepted both with and without the leading double underscore, as in real
+#: OpenCL C.
+KEYWORDS = frozenset({
+    "void", "char", "uchar", "short", "ushort", "int", "uint",
+    "long", "ulong", "float", "double", "bool", "size_t", "ptrdiff_t",
+    "signed", "unsigned",
+    "if", "else", "for", "while", "do", "break", "continue", "return",
+    "const", "volatile", "restrict", "static", "inline",
+    "__kernel", "kernel",
+    "__global", "global", "__local", "local",
+    "__constant", "constant", "__private", "private",
+    "struct", "typedef", "switch", "case", "default", "goto", "sizeof",
+})
+
+#: Multi-character punctuation, longest first so the lexer can use greedy
+#: matching.
+PUNCTUATORS = (
+    "<<=", ">>=", "...",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "->",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~",
+    "(", ")", "[", "]", "{", "}", ";", ",", "?", ":", ".",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``value`` is the raw spelling for identifiers/keywords/punctuators; for
+    numeric literals it keeps the spelling while ``parsed`` holds the Python
+    value and ``suffix`` the literal suffix (``f``, ``u``, ``ul``...).
+    """
+
+    kind: str
+    value: str
+    line: int
+    col: int
+    parsed: object = None
+    suffix: str = ""
+
+    def is_(self, kind: str, value: str | None = None) -> bool:
+        """True when this token has the given kind (and value, if given)."""
+        return self.kind == kind and (value is None or self.value == value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, {self.line}:{self.col})"

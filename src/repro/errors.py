@@ -1,0 +1,139 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  The compiler, the simulated OpenCL
+runtime and the HPL layer each have their own subtree mirroring the kind
+of diagnostics the corresponding real-world component would emit.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Compiler (repro.clc)
+# ---------------------------------------------------------------------------
+
+class CompileError(ReproError):
+    """A problem found while compiling OpenCL C source.
+
+    Carries an optional source location so host code (and tests) can point
+    at the offending token.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0,
+                 filename: str = "<kernel>") -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        self.filename = filename
+        if line:
+            super().__init__(f"{filename}:{line}:{col}: {message}")
+        else:
+            super().__init__(message)
+
+
+class PreprocessorError(CompileError):
+    """Malformed preprocessor directive or macro usage."""
+
+
+class LexError(CompileError):
+    """The tokenizer met a character sequence it cannot tokenize."""
+
+
+class ParseError(CompileError):
+    """The parser met an unexpected token."""
+
+
+class SemanticError(CompileError):
+    """Type errors, unknown identifiers, address-space violations, ..."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated OpenCL runtime (repro.ocl)
+# ---------------------------------------------------------------------------
+
+class CLError(ReproError):
+    """Base class for runtime errors, mirroring OpenCL error codes."""
+
+    code = "CL_GENERIC_ERROR"
+
+    def __init__(self, message: str = "") -> None:
+        super().__init__(f"{self.code}: {message}" if message else self.code)
+
+
+class InvalidValue(CLError):
+    code = "CL_INVALID_VALUE"
+
+
+class InvalidDevice(CLError):
+    code = "CL_INVALID_DEVICE"
+
+
+class InvalidContext(CLError):
+    code = "CL_INVALID_CONTEXT"
+
+
+class InvalidMemObject(CLError):
+    code = "CL_INVALID_MEM_OBJECT"
+
+
+class InvalidKernelArgs(CLError):
+    code = "CL_INVALID_KERNEL_ARGS"
+
+
+class InvalidWorkGroupSize(CLError):
+    code = "CL_INVALID_WORK_GROUP_SIZE"
+
+
+class InvalidWorkDimension(CLError):
+    code = "CL_INVALID_WORK_DIMENSION"
+
+
+class BuildProgramFailure(CLError):
+    code = "CL_BUILD_PROGRAM_FAILURE"
+
+    def __init__(self, message: str = "", build_log: str = "") -> None:
+        self.build_log = build_log
+        super().__init__(message)
+
+
+class OutOfResources(CLError):
+    code = "CL_OUT_OF_RESOURCES"
+
+
+class DeviceNotAvailable(CLError):
+    code = "CL_DEVICE_NOT_AVAILABLE"
+
+
+class ProfilingInfoNotAvailable(CLError):
+    code = "CL_PROFILING_INFO_NOT_AVAILABLE"
+
+
+class KernelLaunchError(CLError):
+    """A kernel trapped at simulated run time (bad index, div by zero...)."""
+
+    code = "CL_KERNEL_LAUNCH_ERROR"
+
+
+# ---------------------------------------------------------------------------
+# HPL layer (repro.hpl)
+# ---------------------------------------------------------------------------
+
+class HPLError(ReproError):
+    """Base class for errors raised by the Heterogeneous Programming Library."""
+
+
+class KernelCaptureError(HPLError):
+    """The kernel function did something the tracer cannot capture."""
+
+
+class DomainError(HPLError):
+    """Inconsistent global/local execution domains."""
+
+
+class CoherenceError(HPLError):
+    """Illegal host/device data movement (e.g. writing constant memory)."""

@@ -1,0 +1,73 @@
+"""``repro.hpl`` — the Heterogeneous Programming Library.
+
+The Python rendition of the paper's C++ library.  A complete SAXPY
+(paper Figure 3)::
+
+    from repro.hpl import Array, Double, double_, eval, idx
+
+    def saxpy(y, x, a):
+        y[idx] = a * x[idx] + y[idx]
+
+    x = Array(double_, 1000)
+    y = Array(double_, 1000)
+    a = Double(2.0)
+    # ... fill x and y ...
+    eval(saxpy)(y, x, a)
+
+Everything the paper's ``HPL.h`` provides is exported here: the Array and
+scalar types (§III-A), the kernel control-flow constructs and predefined
+variables (§III-B), ``barrier`` and the math functions, and the ``eval``
+invocation interface (§III-C).
+"""
+
+from .analysis import KernelInfo, analyze_kernel
+from .array import Array
+from .builder import KernelBuilder
+from .codegen import generate_source
+from .control import (break_, continue_, elif_, else_, endfor_, endif_,
+                      endwhile_, for_, if_, return_, while_)
+from .dtypes import (Constant, Global, Local, Private, char_, double_,
+                     float_, int_, long_, short_, uchar_, uint_, ulong_,
+                     ushort_)
+from .evaluator import Evaluator, eval, eval_
+from .functions import (GLOBAL, LOCAL, abs_, acos, asin, atan, atan2,
+                        barrier, cast, cbrt, ceil, clamp, cos, exp, exp2,
+                        fabs, floor, fma, fmax, fmin, fmod, hypot, log,
+                        log2, log10, max_, min_, not_, pow, round_, rsqrt,
+                        sin, sqrt, tan, trunc, where)
+from .predefined import (gidx, gidy, gidz, idx, idy, idz, lidx, lidy,
+                         lidz, lszx, lszy, lszz, ngroupx, ngroupy,
+                         ngroupz, szx, szy, szz)
+from .runtime import (EvalResult, HPLDevice, HPLRuntime, RuntimeStats,
+                      get_device, get_devices, get_runtime, reset_runtime)
+from .scalars import (Char, Double, Float, HostScalar, Int, Long, Short,
+                      Uchar, Uint, Ulong, Ushort)
+
+__all__ = [
+    # arrays and types
+    "Array", "Global", "Local", "Constant", "Private",
+    "int_", "uint_", "long_", "ulong_", "short_", "ushort_", "char_",
+    "uchar_", "float_", "double_",
+    # scalars
+    "Int", "Uint", "Long", "Ulong", "Short", "Ushort", "Char", "Uchar",
+    "Float", "Double", "HostScalar",
+    # control flow
+    "if_", "elif_", "else_", "endif_", "for_", "endfor_", "while_",
+    "endwhile_", "break_", "continue_", "return_",
+    # predefined variables
+    "idx", "idy", "idz", "lidx", "lidy", "lidz", "gidx", "gidy", "gidz",
+    "szx", "szy", "szz", "lszx", "lszy", "lszz",
+    "ngroupx", "ngroupy", "ngroupz",
+    # device functions
+    "barrier", "LOCAL", "GLOBAL", "cast", "where", "not_",
+    "sqrt", "rsqrt", "cbrt", "exp", "exp2", "log", "log2", "log10",
+    "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "pow", "fabs",
+    "floor", "ceil", "trunc", "round_", "fmod", "fmin", "fmax", "fma",
+    "hypot", "abs_", "min_", "max_", "clamp",
+    # invocation and runtime
+    "eval", "eval_", "Evaluator", "get_devices", "get_device",
+    "get_runtime", "reset_runtime", "EvalResult", "HPLDevice",
+    "HPLRuntime", "RuntimeStats",
+    # capture internals useful for tooling/tests
+    "KernelBuilder", "KernelInfo", "analyze_kernel", "generate_source",
+]

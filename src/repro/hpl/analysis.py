@@ -1,0 +1,168 @@
+"""Kernel access analysis (paper §V-B / §VI).
+
+HPL "can and does analyze the kernels it builds, the aim of that analysis
+currently being the minimization of the data transfers due to the
+execution of the kernels."  This module walks the captured kernel AST and
+classifies every array argument as read, written or read-write; the
+runtime uses the result to copy only what the kernel will actually read
+to the device and to invalidate only what it wrote.
+
+The same pass derives two facts the runtime needs for device selection
+and validation: whether the kernel uses double precision and whether it
+synchronises with barriers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CoherenceError
+from . import dtypes as D
+from . import kast as K
+from .proxy import ArrayHandle
+
+
+@dataclass
+class KernelInfo:
+    """Result of analysing one captured kernel."""
+
+    #: array parameter name -> 'r' | 'w' | 'rw'
+    access: dict = field(default_factory=dict)
+    uses_double: bool = False
+    uses_barrier: bool = False
+    uses_local_memory: bool = False
+    #: names of predefined variables referenced (idx, gidx, ...)
+    predefined_used: set = field(default_factory=set)
+
+    def reads(self, name: str) -> bool:
+        return "r" in self.access.get(name, "")
+
+    def writes(self, name: str) -> bool:
+        return "w" in self.access.get(name, "")
+
+
+class _Analyzer:
+    def __init__(self) -> None:
+        self.info = KernelInfo()
+
+    # -- recording -------------------------------------------------------------
+
+    def _note(self, handle: ArrayHandle, kind: str) -> None:
+        if handle.dtype is D.double_:
+            self.info.uses_double = True
+        if not handle.is_param:
+            if handle.mem == D.LOCAL:
+                self.info.uses_local_memory = True
+            return
+        if kind == "w" and handle.mem == D.CONSTANT:
+            raise CoherenceError(
+                f"kernel writes array {handle.name!r} which lives in "
+                "constant memory (constant memory is read-only for "
+                "kernels)")
+        cur = self.info.access.get(handle.name, "")
+        if kind not in cur:
+            order = {"": kind, "r": "rw" if kind == "w" else "r",
+                     "w": "rw" if kind == "r" else "w", "rw": "rw"}
+            self.info.access[handle.name] = order[cur]
+
+    def _check_double(self, dtype) -> None:
+        if dtype is D.double_:
+            self.info.uses_double = True
+
+    # -- walking ------------------------------------------------------------------
+
+    def expr(self, e: K.Expr | None) -> None:
+        if e is None:
+            return
+        if isinstance(e, K.Const):
+            if isinstance(e.value, float) and (e.dtype is None
+                                               or e.dtype is D.double_):
+                pass  # adaptive literals don't force double by themselves
+            return
+        if isinstance(e, K.PredefinedRef):
+            self.info.predefined_used.add(e.name)
+            return
+        if isinstance(e, K.VarRef):
+            self._check_double(e.dtype)
+            return
+        if isinstance(e, K.IndexRef):
+            self._note(e.array, "r")
+            for i in e.indices:
+                self.expr(i)
+            return
+        if isinstance(e, K.BinOp):
+            self._check_double(e.dtype)
+            self.expr(e.lhs)
+            self.expr(e.rhs)
+            return
+        if isinstance(e, K.UnOp):
+            self.expr(e.operand)
+            return
+        if isinstance(e, K.Call):
+            self._check_double(e.dtype)
+            for a in e.args:
+                self.expr(a)
+            return
+        if isinstance(e, K.Cast):
+            self._check_double(e.target)
+            self.expr(e.operand)
+            return
+        if isinstance(e, K.Ternary):
+            self._check_double(e.dtype)
+            self.expr(e.cond)
+            self.expr(e.then)
+            self.expr(e.otherwise)
+            return
+
+    def stmts(self, body: list) -> None:
+        for s in body:
+            self.stmt(s)
+
+    def stmt(self, s: K.Stmt) -> None:
+        if isinstance(s, K.DeclScalar):
+            self._check_double(s.dtype)
+            self.expr(s.init)
+        elif isinstance(s, K.DeclArray):
+            self._check_double(s.dtype)
+            if s.mem == D.LOCAL:
+                self.info.uses_local_memory = True
+        elif isinstance(s, K.Assign):
+            if isinstance(s.target, K.IndexRef):
+                self._note(s.target.array, "w")
+                for i in s.target.indices:
+                    self.expr(i)
+                if s.op != "=":
+                    self._note(s.target.array, "r")
+            self.expr(s.value)
+        elif isinstance(s, K.If):
+            for cond, body in s.branches:
+                self.expr(cond)
+                self.stmts(body)
+        elif isinstance(s, K.For):
+            self.expr(s.start)
+            self.expr(s.limit)
+            self.expr(s.step)
+            self.stmts(s.body)
+        elif isinstance(s, K.While):
+            self.expr(s.cond)
+            self.stmts(s.body)
+        elif isinstance(s, K.Barrier):
+            self.info.uses_barrier = True
+
+
+def analyze_kernel(body: list, params: list) -> KernelInfo:
+    """Analyse a captured kernel body.
+
+    ``params`` is the ordered (name, proxy) list; array parameters never
+    touched by the kernel are classified ``'r'`` conservatively (they
+    still get transferred, mirroring what a library without the analysis
+    would do for every argument).
+    """
+    a = _Analyzer()
+    a.stmts(body)
+    for name, proxy in params:
+        if isinstance(proxy, ArrayHandle) and name not in a.info.access:
+            a.info.access[name] = "r"
+        if getattr(proxy, "dtype", None) is D.double_:
+            a.info.uses_double = True
+    return a.info

@@ -1,0 +1,236 @@
+"""HPL Arrays (paper §III-A): host-side arrays with device coherence.
+
+``Array(double_, 1000)`` creates a vector usable both in host code and as
+a kernel argument.  HPL tracks where the current contents live (host
+memory and/or per-device buffers) and moves data lazily: a kernel launch
+copies in only the arguments the kernel *reads* (per the access
+analysis), and host accesses copy back only when the freshest copy is on
+a device.
+
+Host indexing uses parentheses — ``a(i, j)`` — as in the paper, which
+reserves square brackets for (dynamically compiled, overhead-free) kernel
+code; ``a[i, j]`` also works on the host as a pythonic convenience.
+Inside kernels, ``Array(...)`` declares a private (or, with ``Local``, a
+scratchpad) array instead — the same dual role the C++ template has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import HPLError, KernelCaptureError
+from . import dtypes as D
+from . import kast as K
+from .builder import KernelBuilder
+from .proxy import ArrayHandle
+
+
+def _normalize_dims(dims) -> tuple[int, ...]:
+    if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+        dims = tuple(dims[0])
+    shape = tuple(int(d) for d in dims)
+    if not shape:
+        raise HPLError("an Array needs at least one dimension; use the "
+                       "scalar classes (Int, Double, ...) for scalars")
+    if any(d <= 0 for d in shape):
+        raise HPLError(f"invalid Array shape {shape}")
+    return shape
+
+
+class Array:
+    """An HPL array; see the module docstring."""
+
+    def __new__(cls, dtype: D.HPLType, *dims, mem: str | None = None,
+                data: np.ndarray | None = None, name: str | None = None):
+        builder = KernelBuilder.current()
+        if builder is None:
+            return super().__new__(cls)
+        # inside a kernel: declare a private or local array
+        shape = _normalize_dims(dims)
+        if data is not None:
+            raise KernelCaptureError(
+                "in-kernel Array declarations cannot wrap host data")
+        space = D.PRIVATE if mem in (None, D.PRIVATE) else mem
+        if space not in (D.PRIVATE, D.LOCAL):
+            raise KernelCaptureError(
+                "arrays declared inside kernels are private by default "
+                "or Local; Global/Constant arrays must come from the host")
+        var_name = builder.claim_name(name) if name \
+            else builder.fresh_name("arr")
+        builder.add(K.DeclArray(name=var_name, dtype=dtype, shape=shape,
+                                mem=space))
+        return ArrayHandle(var_name, dtype, shape, mem=space,
+                           is_param=False)
+
+    def __init__(self, dtype: D.HPLType, *dims, mem: str | None = None,
+                 data: np.ndarray | None = None,
+                 name: str | None = None) -> None:
+        if not isinstance(dtype, D.HPLType):
+            raise HPLError(
+                f"first argument must be an HPL element type "
+                f"(float_, double_, int_, ...), got {dtype!r}")
+        shape = _normalize_dims(dims)
+        self.dtype = dtype
+        self.shape = shape
+        self.mem = D.GLOBAL if mem is None else mem
+        if self.mem not in (D.GLOBAL, D.CONSTANT):
+            raise HPLError("host Arrays live in Global or Constant memory")
+        self.name = name
+
+        if data is not None:
+            data = np.asarray(data)
+            if data.dtype != dtype.np_dtype:
+                raise HPLError(
+                    f"provided storage has dtype {data.dtype}, expected "
+                    f"{dtype.np_dtype} — HPL wraps user memory without "
+                    "copying, so the types must match")
+            if data.size != int(np.prod(shape)):
+                raise HPLError(
+                    f"provided storage has {data.size} elements, shape "
+                    f"{shape} needs {int(np.prod(shape))}")
+            self._host = np.ascontiguousarray(data).reshape(shape)
+            self._user_owned = True
+        else:
+            self._host = np.zeros(shape, dtype=dtype.np_dtype)
+            self._user_owned = False
+
+        # coherence state
+        self._host_valid = True
+        self._device_valid: dict = {}    # HPLDevice -> bool
+        self._buffers: dict = {}         # HPLDevice -> ocl.Buffer
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        return int(np.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    # -- host access ----------------------------------------------------------------
+
+    @property
+    def data(self) -> np.ndarray:
+        """Writable NumPy view of the host copy (paper's ``data()``).
+
+        Accessing it synchronises the host copy and conservatively marks
+        device copies stale, since HPL cannot see writes through the raw
+        pointer.  Use :meth:`read` when you only need to look.
+        """
+        self._sync_host()
+        self._invalidate_devices()
+        return self._host
+
+    def read(self) -> np.ndarray:
+        """Read-only NumPy view of the (synchronised) host copy."""
+        self._sync_host()
+        view = self._host.view()
+        view.flags.writeable = False
+        return view
+
+    def fill(self, value) -> "Array":
+        """Set every element to ``value`` (host-side write)."""
+        self._host[...] = value
+        self._host_valid = True
+        self._invalidate_devices()
+        return self
+
+    def __call__(self, *indices):
+        """Element read with parentheses, as in host HPL code."""
+        self._sync_host()
+        return self._host[tuple(int(i) for i in indices)]
+
+    def __getitem__(self, key):
+        if KernelBuilder.current() is not None:
+            raise KernelCaptureError(
+                f"host Array {self._label()} used inside a kernel; pass "
+                "it as a kernel argument instead of capturing it")
+        self._sync_host()
+        view = self._host[key]
+        if isinstance(view, np.ndarray):
+            view = view.view()
+            view.flags.writeable = False
+        return view
+
+    def __setitem__(self, key, value) -> None:
+        if KernelBuilder.current() is not None:
+            raise KernelCaptureError(
+                f"host Array {self._label()} written inside a kernel; "
+                "pass it as a kernel argument instead")
+        self._sync_host()
+        self._host[key] = value
+        self._invalidate_devices()
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def _label(self) -> str:
+        return self.name or f"<Array {self.dtype}{list(self.shape)}>"
+
+    def __repr__(self) -> str:
+        where = ["host"] if self._host_valid else []
+        where += [dev.name for dev, ok in self._device_valid.items() if ok]
+        return (f"<hpl.Array {self.dtype}{list(self.shape)} "
+                f"mem={self.mem} valid_on={where}>")
+
+    # -- coherence (driven by the HPL runtime) ------------------------------------------
+
+    def _sync_host(self) -> None:
+        if self._host_valid:
+            return
+        for dev, ok in self._device_valid.items():
+            if ok:
+                dev.read_buffer(self._buffers[dev], self._host)
+                self._host_valid = True
+                return
+        raise HPLError(
+            f"{self._label()} has no valid copy anywhere (internal "
+            "coherence error)")
+
+    def _invalidate_devices(self) -> None:
+        for dev in self._device_valid:
+            self._device_valid[dev] = False
+
+    def ensure_on_device(self, dev, *, will_read: bool) -> None:
+        """Make sure a buffer exists on ``dev``; copy data only if the
+        kernel will read this argument and the device copy is stale."""
+        if dev not in self._buffers:
+            self._buffers[dev] = dev.create_buffer(self.nbytes)
+            self._device_valid[dev] = False
+        if will_read and not self._device_valid[dev]:
+            self._sync_host()
+            dev.write_buffer(self._buffers[dev], self._host)
+            self._device_valid[dev] = True
+
+    def mark_written_on(self, dev) -> None:
+        """After a kernel wrote this array on ``dev``."""
+        for d in self._device_valid:
+            self._device_valid[d] = d is dev
+        self._device_valid[dev] = True
+        self._host_valid = False
+
+    def buffer_on(self, dev):
+        return self._buffers[dev]
+
+    # -- kernel-side handle ------------------------------------------------------------------
+
+    def make_handle(self, param_name: str) -> ArrayHandle:
+        """The tracing proxy standing in for this array."""
+        return ArrayHandle(param_name, self.dtype, self.shape,
+                           mem=self.mem, is_param=True)
+
+    def signature(self) -> tuple:
+        """Cache-key component describing this argument.
+
+        1-D arrays share kernels across lengths; for 2-D/3-D arrays the
+        row strides are baked into the generated source, so the shape
+        participates in the key.
+        """
+        shape_part = self.shape[1:] if self.ndim > 1 else ()
+        return ("a", self.dtype.name, self.ndim, self.mem, shape_part)

@@ -1,0 +1,117 @@
+"""Kernel capture: the tracing context that records HPL statements.
+
+Exactly one :class:`KernelBuilder` is active while ``eval`` traces a
+kernel function.  Proxy objects and control-flow constructs look the
+active builder up (:meth:`KernelBuilder.current`) and append statement
+nodes to the innermost open block.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import KernelCaptureError
+from . import kast as K
+
+_tls = threading.local()
+
+
+class KernelBuilder:
+    """Records the statement tree of one kernel while it is traced."""
+
+    def __init__(self, kernel_name: str) -> None:
+        self.kernel_name = kernel_name
+        self.body: list[K.Stmt] = []
+        self._blocks: list[list] = [self.body]
+        #: stack of (kind, stmt) for open control constructs
+        self._frames: list[tuple[str, K.Stmt]] = []
+        self._names: set[str] = set()
+        self._counter = 0
+        #: handles of in-kernel declarations, in declaration order
+        self.local_decls: list = []
+
+    # -- activation -------------------------------------------------------------
+
+    @classmethod
+    def current(cls) -> "KernelBuilder | None":
+        return getattr(_tls, "builder", None)
+
+    @classmethod
+    def require(cls, what: str) -> "KernelBuilder":
+        builder = cls.current()
+        if builder is None:
+            raise KernelCaptureError(
+                f"{what} may only be used inside an HPL kernel "
+                "(during eval())")
+        return builder
+
+    def __enter__(self) -> "KernelBuilder":
+        if KernelBuilder.current() is not None:
+            raise KernelCaptureError(
+                "nested kernel capture: eval() cannot be called from "
+                "inside a kernel body")
+        _tls.builder = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        _tls.builder = None
+        if exc_type is None and self._frames:
+            kind, _ = self._frames[-1]
+            raise KernelCaptureError(
+                f"kernel {self.kernel_name!r} left a {kind}_ construct "
+                f"open; missing end{kind}_()?")
+
+    # -- statement recording --------------------------------------------------------
+
+    def add(self, stmt: K.Stmt) -> None:
+        self._blocks[-1].append(stmt)
+
+    def push_block(self, kind: str, stmt: K.Stmt, body: list) -> None:
+        self._frames.append((kind, stmt))
+        self._blocks.append(body)
+
+    def switch_block(self, kind: str, body: list) -> K.Stmt:
+        """elif_/else_: replace the innermost branch body of an if_."""
+        frame_kind, stmt = self._top(kind)
+        self._blocks.pop()
+        self._blocks.append(body)
+        return stmt
+
+    def pop_block(self, kind: str) -> K.Stmt:
+        _, stmt = self._top(kind)
+        self._frames.pop()
+        self._blocks.pop()
+        return stmt
+
+    def _top(self, kind: str) -> tuple[str, K.Stmt]:
+        if not self._frames:
+            raise KernelCaptureError(
+                f"end{kind}_()/{kind} continuation used without an open "
+                f"{kind}_")
+        frame_kind, stmt = self._frames[-1]
+        if frame_kind != kind:
+            raise KernelCaptureError(
+                f"mismatched control nesting: expected end{frame_kind}_() "
+                f"before closing {kind}_")
+        return frame_kind, stmt
+
+    # -- names ------------------------------------------------------------------------
+
+    def fresh_name(self, prefix: str) -> str:
+        while True:
+            self._counter += 1
+            name = f"{prefix}{self._counter}"
+            if name not in self._names:
+                self._names.add(name)
+                return name
+
+    def reserve_names(self, names) -> None:
+        """Mark names as taken (kernel parameters, before tracing)."""
+        self._names.update(names)
+
+    def claim_name(self, name: str) -> str:
+        """Reserve a user-provided name, uniquifying on collision."""
+        if name not in self._names:
+            self._names.add(name)
+            return name
+        return self.fresh_name(name + "_")

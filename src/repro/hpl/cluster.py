@@ -1,0 +1,155 @@
+"""Multi-device / distributed-memory execution (§VII future work).
+
+The paper closes by planning "to extend the high-productivity features
+of HPL to handle distributed memory parallelism by running HPL on a
+cluster of SMP nodes in which each node can contain multiple
+heterogeneous computing devices".  This module implements that layer on
+top of the simulated platform:
+
+* a :class:`Cluster` is an ordered set of devices (possibly spanning the
+  simulated "nodes" — every SimCL device has its own memory, so device
+  boundaries already model node boundaries for data-movement purposes);
+* :class:`DistributedArray` block-partitions a 1-D HPL Array across the
+  cluster along its first dimension;
+* :func:`cluster_eval` runs an elementwise-style kernel on every
+  partition concurrently (owner-computes), giving each device its slice
+  of every distributed argument plus the partition offset.
+
+Communication is staged through host memory (the "interconnect"), with
+per-transfer costs accounted by each device's PCIe model — exactly how a
+one-host multi-GPU OpenCL program moves data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DomainError, HPLError
+from .array import Array
+from .dtypes import HPLType
+from .evaluator import eval as hpl_eval
+from .runtime import HPLDevice, get_runtime
+from .scalars import Int
+
+
+class Cluster:
+    """An ordered group of HPL devices acting as one execution target."""
+
+    def __init__(self, devices=None) -> None:
+        if devices is None:
+            devices = [d for d in get_runtime().devices if not d.is_cpu]
+            if not devices:
+                devices = list(get_runtime().devices)
+        devices = list(devices)
+        if not devices:
+            raise HPLError("a Cluster needs at least one device")
+        for d in devices:
+            if not isinstance(d, HPLDevice):
+                raise HPLError(f"{d!r} is not an HPL device")
+        self.devices = devices
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __repr__(self) -> str:
+        return f"<Cluster of {len(self.devices)} device(s)>"
+
+    def partition_bounds(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous block partition of ``n`` elements over the devices."""
+        if n < len(self.devices):
+            raise DomainError(
+                f"cannot partition {n} element(s) over "
+                f"{len(self.devices)} devices")
+        base, extra = divmod(n, len(self.devices))
+        bounds = []
+        start = 0
+        for rank in range(len(self.devices)):
+            size = base + (1 if rank < extra else 0)
+            bounds.append((start, start + size))
+            start += size
+        return bounds
+
+
+class DistributedArray:
+    """A 1-D array block-partitioned across a :class:`Cluster`.
+
+    Each partition is an ordinary HPL :class:`Array` owned by one
+    device; :meth:`gather` assembles the full contents on the host.
+    """
+
+    def __init__(self, dtype: HPLType, n: int, cluster: Cluster,
+                 data: np.ndarray | None = None) -> None:
+        self.dtype = dtype
+        self.n = int(n)
+        self.cluster = cluster
+        self.bounds = cluster.partition_bounds(self.n)
+        self.parts: list[Array] = []
+        for (lo, hi) in self.bounds:
+            part = Array(dtype, hi - lo)
+            if data is not None:
+                part.data[:] = np.asarray(data[lo:hi],
+                                          dtype=dtype.np_dtype)
+            self.parts.append(part)
+
+    @property
+    def size(self) -> int:
+        return self.n
+
+    def gather(self) -> np.ndarray:
+        """Assemble the full array on the host (device->host transfers)."""
+        out = np.empty(self.n, dtype=self.dtype.np_dtype)
+        for (lo, hi), part in zip(self.bounds, self.parts):
+            out[lo:hi] = part.read()
+        return out
+
+    def scatter(self, data: np.ndarray) -> None:
+        """Replace the contents from a host array."""
+        data = np.asarray(data, dtype=self.dtype.np_dtype)
+        if data.size != self.n:
+            raise HPLError(
+                f"scatter of {data.size} element(s) into a "
+                f"{self.n}-element DistributedArray")
+        for (lo, hi), part in zip(self.bounds, self.parts):
+            part.data[:] = data[lo:hi]
+
+    def __repr__(self) -> str:
+        return (f"<DistributedArray {self.dtype}[{self.n}] over "
+                f"{len(self.cluster)} device(s)>")
+
+
+def cluster_eval(kernel, cluster: Cluster, *args):
+    """Evaluate ``kernel`` once per partition, owner-computes style.
+
+    ``kernel`` is an ordinary HPL kernel function whose **last two
+    parameters** must be ``offset`` (Int: the partition's global start
+    index) and ``count`` (Int: partition length); each
+    :class:`DistributedArray` argument is replaced by the device-local
+    partition, while plain Arrays and scalars are broadcast to every
+    device (each device keeps its own coherent copy).
+
+    Returns the list of per-partition :class:`EvalResult` objects.
+    """
+    dist_args = [a for a in args if isinstance(a, DistributedArray)]
+    if not dist_args:
+        raise HPLError("cluster_eval needs at least one DistributedArray")
+    n = dist_args[0].n
+    for a in dist_args:
+        if a.n != n or a.cluster is not cluster:
+            raise HPLError("all DistributedArrays must share the same "
+                           "size and cluster")
+
+    results = []
+    for rank, device in enumerate(cluster.devices):
+        lo, hi = dist_args[0].bounds[rank]
+        local_args = []
+        for a in args:
+            if isinstance(a, DistributedArray):
+                local_args.append(a.parts[rank])
+            else:
+                local_args.append(a)
+        local_args.append(Int(lo))
+        local_args.append(Int(hi - lo))
+        result = hpl_eval(kernel).global_(hi - lo).device(device) \
+            (*local_args)
+        results.append(result)
+    return results

@@ -1,0 +1,243 @@
+"""OpenCL C code generation from the captured HPL kernel AST.
+
+This is the HPL backend of the paper (§III): "Our current implementation
+of the library generates OpenCL C versions of the HPL kernels, which are
+then compiled to binary with the OpenCL compiler."  The generated source
+is ordinary OpenCL C, compiled by :mod:`repro.clc` through the SimCL
+:class:`~repro.ocl.program.Program` — the very path hand-written kernels
+take, so HPL and manual OpenCL run on identical substrate.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelCaptureError
+from . import dtypes as D
+from . import kast as K
+from .predefined import PREDEFINED
+from .proxy import ArrayHandle
+
+#: C operator precedence for minimal-parenthesis emission
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6, "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8, "+": 9, "-": 9, "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+_PRIMARY_PREC = 12
+
+
+def _float_literal(value: float, dtype: D.HPLType) -> str:
+    text = repr(float(value))
+    if "e" in text or "E" in text:
+        pass
+    elif "." not in text and "inf" not in text and "nan" not in text:
+        text += ".0"
+    if dtype is D.float_:
+        text += "f"
+    return text
+
+
+def _int_suffix(dtype: D.HPLType) -> str:
+    return {"uint": "u", "long": "L", "ulong": "UL"}.get(dtype.name, "")
+
+
+class CodeGenerator:
+    """Emit the OpenCL C for one captured kernel."""
+
+    def __init__(self, kernel_name: str, params: list, body: list,
+                 param_access: dict) -> None:
+        """``params`` is the ordered list of (name, proxy) pairs;
+        ``param_access`` maps array parameter names to ('r'|'w'|'rw')."""
+        self.kernel_name = kernel_name
+        self.params = params
+        self.body = body
+        self.param_access = param_access
+        self._lines: list[str] = []
+        self._indent = 0
+
+    # -- public --------------------------------------------------------------
+
+    def generate(self) -> str:
+        sig = ", ".join(self._param_decl(name, proxy)
+                        for name, proxy in self.params)
+        self._emit(f"__kernel void {self.kernel_name}({sig})")
+        self._emit("{")
+        self._indent += 1
+        for stmt in self.body:
+            self._stmt(stmt)
+        self._indent -= 1
+        self._emit("}")
+        return "\n".join(self._lines) + "\n"
+
+    # -- declarations ------------------------------------------------------------
+
+    def _param_decl(self, name: str, proxy) -> str:
+        if isinstance(proxy, ArrayHandle):
+            space = {"global": "__global", "constant": "__constant",
+                     "local": "__local"}[proxy.mem]
+            qual = ("const " if self.param_access.get(name) == "r"
+                    and proxy.mem == "global" else "")
+            return f"{space} {qual}{proxy.dtype.name}* {name}"
+        return f"{proxy.dtype.name} {name}"
+
+    # -- statements -----------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        self._lines.append("    " * self._indent + text)
+
+    def _stmt(self, stmt: K.Stmt) -> None:
+        if isinstance(stmt, K.DeclScalar):
+            init = (f" = {self._expr(stmt.init)}"
+                    if stmt.init is not None else "")
+            self._emit(f"{stmt.dtype.name} {stmt.name}{init};")
+        elif isinstance(stmt, K.DeclArray):
+            size = 1
+            for s in stmt.shape:
+                size *= int(s)
+            prefix = "__local " if stmt.mem == D.LOCAL else ""
+            self._emit(f"{prefix}{stmt.dtype.name} {stmt.name}[{size}];")
+        elif isinstance(stmt, K.Assign):
+            self._emit(f"{self._lvalue(stmt.target)} {stmt.op} "
+                       f"{self._expr(stmt.value)};")
+        elif isinstance(stmt, K.If):
+            first = True
+            for cond, body in stmt.branches:
+                if cond is None:
+                    self._emit("else {")
+                elif first:
+                    self._emit(f"if ({self._expr(cond)}) {{")
+                else:
+                    self._emit(f"else if ({self._expr(cond)}) {{")
+                first = False
+                self._indent += 1
+                for s in body:
+                    self._stmt(s)
+                self._indent -= 1
+                self._emit("}")
+        elif isinstance(stmt, K.For):
+            var = stmt.var.name
+            self._emit(
+                f"for ({var} = {self._expr(stmt.start)}; "
+                f"{var} {stmt.cmp} {self._expr(stmt.limit)}; "
+                f"{var} += {self._expr(stmt.step)}) {{")
+            self._indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self._indent -= 1
+            self._emit("}")
+        elif isinstance(stmt, K.While):
+            self._emit(f"while ({self._expr(stmt.cond)}) {{")
+            self._indent += 1
+            for s in stmt.body:
+                self._stmt(s)
+            self._indent -= 1
+            self._emit("}")
+        elif isinstance(stmt, K.Barrier):
+            flags = []
+            if stmt.flags & 1:
+                flags.append("CLK_LOCAL_MEM_FENCE")
+            if stmt.flags & 2:
+                flags.append("CLK_GLOBAL_MEM_FENCE")
+            self._emit(f"barrier({' | '.join(flags)});")
+        elif isinstance(stmt, K.Break):
+            self._emit("break;")
+        elif isinstance(stmt, K.Continue):
+            self._emit("continue;")
+        elif isinstance(stmt, K.Return):
+            self._emit("return;")
+        else:  # pragma: no cover
+            raise KernelCaptureError(
+                f"cannot generate code for {type(stmt).__name__}")
+
+    # -- expressions --------------------------------------------------------------------
+
+    def _lvalue(self, target: K.Expr) -> str:
+        if isinstance(target, K.IndexRef):
+            return self._index(target)
+        if isinstance(target, K.VarRef):
+            return target.name
+        raise KernelCaptureError(
+            f"invalid assignment target {type(target).__name__}")
+
+    def _index(self, ref: K.IndexRef) -> str:
+        handle: ArrayHandle = ref.array
+        shape = handle.shape
+        if len(ref.indices) != len(shape):
+            raise KernelCaptureError(
+                f"{handle.name!r} indexed with {len(ref.indices)} "
+                f"indices, needs {len(shape)}")
+        if len(shape) == 1:
+            return f"{handle.name}[{self._expr(ref.indices[0])}]"
+        # row-major linearisation with constant strides from the shape
+        strides = []
+        acc = 1
+        for dim in reversed(shape[1:]):
+            acc *= int(dim)
+            strides.append(acc)
+        strides = list(reversed(strides)) + [1]
+        terms = []
+        for index, stride in zip(ref.indices, strides):
+            part = self._expr(index, _PREC["*"] + 1)
+            terms.append(f"{part} * {stride}" if stride != 1 else part)
+        return f"{handle.name}[{' + '.join(terms)}]"
+
+    def _expr(self, expr: K.Expr, parent_prec: int = 0) -> str:
+        text, prec = self._expr_prec(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def _expr_prec(self, expr: K.Expr) -> tuple[str, int]:
+        if isinstance(expr, K.Const):
+            dtype = expr.dtype
+            if dtype is None:
+                dtype = D.double_ if isinstance(expr.value, float) \
+                    else D.int_
+            if dtype.is_float:
+                return _float_literal(expr.value, dtype), _PRIMARY_PREC
+            value = int(expr.value)
+            if value < 0:
+                return f"({value}{_int_suffix(dtype)})", _PRIMARY_PREC
+            return f"{value}{_int_suffix(dtype)}", _PRIMARY_PREC
+        if isinstance(expr, K.PredefinedRef):
+            fn, dim = PREDEFINED[expr.name]
+            return f"{fn}({dim})", _PRIMARY_PREC
+        if isinstance(expr, K.VarRef):
+            return expr.name, _PRIMARY_PREC
+        if isinstance(expr, K.IndexRef):
+            return self._index(expr), _PRIMARY_PREC
+        if isinstance(expr, K.UnOp):
+            inner = self._expr(expr.operand, _UNARY_PREC)
+            if inner.startswith(expr.op):
+                inner = f"({inner})"   # `--x` would lex as decrement
+            return f"{expr.op}{inner}", _UNARY_PREC
+        if isinstance(expr, K.BinOp):
+            prec = _PREC[expr.op]
+            lhs = self._expr(expr.lhs, prec)
+            rhs = self._expr(expr.rhs, prec + 1)
+            return f"{lhs} {expr.op} {rhs}", prec
+        if isinstance(expr, K.Cast):
+            inner = self._expr(expr.operand, _UNARY_PREC)
+            return f"({expr.target.name}){inner}", _UNARY_PREC
+        if isinstance(expr, K.Ternary):
+            cond = self._expr(expr.cond, 1)
+            a = self._expr(expr.then, 1)
+            b = self._expr(expr.otherwise, 1)
+            return f"{cond} ? {a} : {b}", 0
+        if isinstance(expr, K.Call):
+            name = expr.name
+            if name == "abs" and expr.dtype is not None \
+                    and expr.dtype.is_float:
+                name = "fabs"
+            args = ", ".join(self._expr(a) for a in expr.args)
+            return f"{name}({args})", _PRIMARY_PREC
+        raise KernelCaptureError(
+            f"cannot generate code for expression "
+            f"{type(expr).__name__}")
+
+
+def generate_source(kernel_name: str, params: list, body: list,
+                    param_access: dict) -> str:
+    """Generate the OpenCL C source of one captured HPL kernel."""
+    return CodeGenerator(kernel_name, params, body,
+                         param_access).generate()

@@ -1,0 +1,152 @@
+"""HPL control-flow constructs (paper §III-B).
+
+The C++ library provides ``if_/endif_``, ``for_/endfor_``,
+``while_/endwhile_`` macros; the same spellings work here::
+
+    if_(lidx == 0)
+    ...statements...
+    endif_()
+
+    for_(i, 0, M)          # for (i = 0; i < M; i += 1)
+    ...
+    endfor_()
+
+Each opener also works as a context manager for a more pythonic style
+(``with if_(cond): ...``) — the ``end*_`` call then happens automatically
+on block exit.  ``elif_``/``else_`` are only available in the macro style.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelCaptureError
+from . import kast as K
+from .builder import KernelBuilder
+from .proxy import ScalarVar
+
+__all__ = ["if_", "elif_", "else_", "endif_", "for_", "endfor_",
+           "while_", "endwhile_", "break_", "continue_", "return_"]
+
+
+class _Ctx:
+    """Lets every opener double as a context manager."""
+
+    __slots__ = ("kind", "closer", "closed")
+
+    def __init__(self, kind: str, closer) -> None:
+        self.kind = kind
+        self.closer = closer
+        self.closed = False
+
+    def __enter__(self) -> "_Ctx":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self.closed:
+            self.closer()
+            self.closed = True
+
+
+def _cond_expr(cond) -> K.Expr:
+    expr = K.as_expr(cond)
+    if isinstance(expr, K.Const):
+        raise KernelCaptureError(
+            "condition is a plain constant; conditions must involve "
+            "kernel data (did you use Python comparison on host values?)")
+    return expr
+
+
+def if_(cond) -> _Ctx:
+    """Open a conditional: ``if_(cond) ... endif_()``."""
+    builder = KernelBuilder.require("if_")
+    body: list = []
+    stmt = K.If(branches=[(_cond_expr(cond), body)])
+    builder.add(stmt)
+    builder.push_block("if", stmt, body)
+    return _Ctx("if", endif_)
+
+
+def elif_(cond) -> None:
+    """Continue an open ``if_`` with an ``else if`` branch."""
+    builder = KernelBuilder.require("elif_")
+    body: list = []
+    stmt = builder.switch_block("if", body)
+    if stmt.branches and stmt.branches[-1][0] is None:
+        raise KernelCaptureError("elif_ after else_ is not allowed")
+    stmt.branches.append((_cond_expr(cond), body))
+
+
+def else_() -> None:
+    """Continue an open ``if_`` with the final ``else`` branch."""
+    builder = KernelBuilder.require("else_")
+    body: list = []
+    stmt = builder.switch_block("if", body)
+    if stmt.branches and stmt.branches[-1][0] is None:
+        raise KernelCaptureError("duplicate else_")
+    stmt.branches.append((None, body))
+
+
+def endif_() -> None:
+    """Close an ``if_``."""
+    KernelBuilder.require("endif_").pop_block("if")
+
+
+def for_(var, start, limit, step=1) -> _Ctx:
+    """Open a counted loop: ``for (var = start; var < limit; var += step)``.
+
+    Mirrors the paper's ``for_(i = 0, i < M, i++)`` — the induction
+    variable, the bounds and the stride are passed as arguments because
+    Python cannot capture ``=``/``++`` inside an argument list.  For a
+    negative constant ``step`` the comparison becomes ``>``.
+    """
+    builder = KernelBuilder.require("for_")
+    if not isinstance(var, K.VarRef) or isinstance(var, K.PredefinedRef):
+        raise KernelCaptureError(
+            "for_ needs a scalar kernel variable (e.g. i = Int()) as its "
+            "induction variable")
+    cmp = "<"
+    if isinstance(step, (int, float)) and step < 0:
+        cmp = ">"
+    body: list = []
+    stmt = K.For(var=var,
+                 start=K.as_expr(start, hint=var.dtype),
+                 limit=K.as_expr(limit, hint=var.dtype),
+                 step=K.as_expr(step, hint=var.dtype),
+                 body=body, cmp=cmp)
+    builder.add(stmt)
+    builder.push_block("for", stmt, body)
+    return _Ctx("for", endfor_)
+
+
+def endfor_() -> None:
+    """Close a ``for_``."""
+    KernelBuilder.require("endfor_").pop_block("for")
+
+
+def while_(cond) -> _Ctx:
+    """Open a ``while`` loop: ``while_(cond) ... endwhile_()``."""
+    builder = KernelBuilder.require("while_")
+    body: list = []
+    stmt = K.While(cond=_cond_expr(cond), body=body)
+    builder.add(stmt)
+    builder.push_block("while", stmt, body)
+    return _Ctx("while", endwhile_)
+
+
+def endwhile_() -> None:
+    """Close a ``while_``."""
+    KernelBuilder.require("endwhile_").pop_block("while")
+
+
+def break_() -> None:
+    """``break`` out of the innermost for_/while_."""
+    KernelBuilder.require("break_").add(K.Break())
+
+
+def continue_() -> None:
+    """``continue`` the innermost for_/while_."""
+    KernelBuilder.require("continue_").add(K.Continue())
+
+
+def return_() -> None:
+    """Early exit from the kernel for this work-item."""
+    KernelBuilder.require("return_").add(K.Return())

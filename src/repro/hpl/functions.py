@@ -1,0 +1,131 @@
+"""Device functions callable inside HPL kernels (paper §III-B).
+
+``barrier(LOCAL | GLOBAL)`` synchronises the threads of a group and makes
+the requested memory visible.  The math functions mirror the OpenCL C
+builtins; applied to plain Python numbers outside a kernel they compute
+the value directly (convenient for host-side reference code).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import KernelCaptureError
+from . import dtypes as D
+from . import kast as K
+from .builder import KernelBuilder
+
+#: barrier flags (paper §III-B): consistency of local and/or global memory
+LOCAL = 1
+GLOBAL = 2
+
+__all__ = ["LOCAL", "GLOBAL", "barrier", "cast", "where", "not_",
+           "sqrt", "rsqrt", "cbrt", "exp", "exp2", "log", "log2", "log10",
+           "sin", "cos", "tan", "asin", "acos", "atan", "atan2", "pow",
+           "fabs", "floor", "ceil", "trunc", "round_", "fmod", "fmin",
+           "fmax", "fma", "hypot", "abs_", "min_", "max_", "clamp"]
+
+
+def barrier(flags: int = LOCAL) -> None:
+    """Barrier synchronization of all threads of the group."""
+    builder = KernelBuilder.require("barrier")
+    if flags not in (LOCAL, GLOBAL, LOCAL | GLOBAL):
+        raise KernelCaptureError(
+            "barrier flags must be LOCAL, GLOBAL or LOCAL|GLOBAL")
+    builder.add(K.Barrier(flags=flags))
+
+
+def cast(value, dtype: D.HPLType) -> K.Expr:
+    """Explicit conversion, like a C cast: ``cast(x, float_)``."""
+    return K.Cast(target=dtype, operand=K.as_expr(value, hint=dtype))
+
+
+def where(cond, a, b) -> K.Expr:
+    """The C ternary operator: ``cond ? a : b``."""
+    ae, be = K.as_expr(a), K.as_expr(b)
+    dt = ae.dtype if ae.dtype is not None else be.dtype
+    ae = K.resolve_untyped(ae, dt) if dt else ae
+    be = K.resolve_untyped(be, dt) if dt else be
+    if ae.dtype is not None and be.dtype is not None:
+        dt = D.promote(ae.dtype, be.dtype)
+    return K.Ternary(cond=K.as_expr(cond), then=ae, otherwise=be, dtype=dt)
+
+
+def not_(value) -> K.Expr:
+    """Logical negation ``!x``."""
+    return K.UnOp("!", K.as_expr(value), D.int_)
+
+
+# -- math builtins ---------------------------------------------------------------
+
+def _float_result(args: list[K.Expr]) -> D.HPLType:
+    if any(a.dtype is D.double_ for a in args):
+        return D.double_
+    if any(a.dtype is not None and a.dtype.is_float for a in args):
+        return D.float_
+    return D.double_  # integer/untyped inputs follow C's double rule
+
+
+def _common_result(args: list[K.Expr]) -> D.HPLType:
+    dt = None
+    for a in args:
+        adt = a.dtype
+        if adt is None:
+            continue
+        dt = adt if dt is None else D.promote(dt, adt)
+    return dt if dt is not None else D.int_
+
+
+def _make_math(name: str, arity: int, host_impl, float_only: bool = True):
+    def fn(*args):
+        if len(args) != arity:
+            raise TypeError(f"{name}() takes {arity} argument(s), got "
+                            f"{len(args)}")
+        if all(isinstance(a, (int, float)) for a in args):
+            return host_impl(*args)
+        exprs = [K.as_expr(a) for a in args]
+        dtype = (_float_result(exprs) if float_only
+                 else _common_result(exprs))
+        exprs = [K.resolve_untyped(e, dtype) for e in exprs]
+        return K.Call(name=name, args=exprs, dtype=dtype)
+
+    fn.__name__ = name
+    fn.__qualname__ = name
+    fn.__doc__ = (f"OpenCL ``{name}`` inside kernels; {host_impl.__module__}"
+                  f".{host_impl.__name__} on plain numbers.")
+    return fn
+
+
+sqrt = _make_math("sqrt", 1, math.sqrt)
+rsqrt = _make_math("rsqrt", 1, lambda x: 1.0 / math.sqrt(x))
+cbrt = _make_math("cbrt", 1, lambda x: math.copysign(abs(x) ** (1 / 3), x))
+exp = _make_math("exp", 1, math.exp)
+exp2 = _make_math("exp2", 1, lambda x: 2.0 ** x)
+log = _make_math("log", 1, math.log)
+log2 = _make_math("log2", 1, math.log2)
+log10 = _make_math("log10", 1, math.log10)
+sin = _make_math("sin", 1, math.sin)
+cos = _make_math("cos", 1, math.cos)
+tan = _make_math("tan", 1, math.tan)
+asin = _make_math("asin", 1, math.asin)
+acos = _make_math("acos", 1, math.acos)
+atan = _make_math("atan", 1, math.atan)
+atan2 = _make_math("atan2", 2, math.atan2)
+pow = _make_math("pow", 2, math.pow)
+fabs = _make_math("fabs", 1, math.fabs)
+floor = _make_math("floor", 1, math.floor)
+ceil = _make_math("ceil", 1, math.ceil)
+trunc = _make_math("trunc", 1, math.trunc)
+round_ = _make_math("round", 1, round)
+fmod = _make_math("fmod", 2, math.fmod)
+fmin = _make_math("fmin", 2, min)
+fmax = _make_math("fmax", 2, max)
+fma = _make_math("fma", 3, lambda a, b, c: a * b + c)
+hypot = _make_math("hypot", 2, math.hypot)
+
+abs_ = _make_math("abs", 1, abs, float_only=False)
+min_ = _make_math("min", 2, min, float_only=False)
+max_ = _make_math("max", 2, max, float_only=False)
+clamp = _make_math("clamp", 3,
+                   lambda x, lo, hi: min(max(x, lo), hi),
+                   float_only=False)

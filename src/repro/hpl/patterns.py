@@ -1,0 +1,229 @@
+"""Convenience computation patterns (the paper's §VII future work:
+"functions for typical patterns of computation").
+
+Each pattern builds an ordinary HPL kernel behind the scenes — the same
+capture/codegen/caching path ``eval`` uses — so patterns compose with
+explicit kernels and inherit the transfer minimisation for free.
+
+* :func:`map_arrays` — elementwise ``out[i] = fn(in0[i], in1[i], ...)``
+* :func:`reduce_array` — total reduction with ``+``/``min``/``max``
+* :func:`scan_array` — inclusive prefix sum (Hillis-Steele passes)
+* :func:`stencil_1d` — 1-D convolution with clamped borders
+"""
+
+from __future__ import annotations
+
+from ..errors import HPLError
+from . import functions as F
+from .array import Array
+from .control import endif_, endwhile_, if_, while_
+from .dtypes import GLOBAL, LOCAL, float_, int_
+from .evaluator import eval as hpl_eval
+from .predefined import gidx, idx, lidx, lszx, szx
+from .scalars import Float, Int
+
+#: pattern kernels are cached here so repeated calls reuse binaries
+_KERNEL_CACHE: dict = {}
+
+
+def _flat_size(array: Array) -> int:
+    return array.size
+
+
+# -- map -----------------------------------------------------------------------
+
+def map_arrays(fn, out: Array, *inputs: Array, device=None,
+               extra_args: tuple = ()):
+    """Elementwise map: ``out[i] = fn(in0[i], in1[i], ..., *extra_args)``.
+
+    ``fn`` receives HPL expressions (one element per input array, plus
+    the extra scalar arguments) and returns the output-element
+    expression.  All arrays must have the same number of elements.
+    """
+    for a in inputs:
+        if _flat_size(a) != _flat_size(out):
+            raise HPLError("map_arrays needs equally sized arrays")
+
+    n_in = len(inputs)
+    key = ("map", fn, n_in, len(extra_args))
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        def kernel(out_, *rest):
+            ins = rest[:n_in]
+            extras = rest[n_in:]
+            out_[idx] = fn(*[a[idx] for a in ins], *extras)
+
+        kernel.__name__ = f"hpl_map_{getattr(fn, '__name__', 'fn')}"
+        _KERNEL_CACHE[key] = kernel
+
+    ev = hpl_eval(kernel).global_(_flat_size(out))
+    if device is not None:
+        ev = ev.device(device)
+    return ev(out, *inputs, *extra_args)
+
+
+# -- reduce ---------------------------------------------------------------------
+
+_REDUCE_OPS = {"+", "min", "max"}
+
+
+def _combine(op: str, a, b, is_float: bool):
+    if op == "+":
+        return a + b
+    if op == "min":
+        return F.fmin(a, b) if is_float else F.min_(a, b)
+    return F.fmax(a, b) if is_float else F.max_(a, b)
+
+
+def _scalar_var_for(dtype, init=0):
+    """Declare a private scalar variable of the array's element type."""
+    from . import scalars as S
+
+    cls = {c.dtype_static.name: c for c in S.SCALAR_CLASSES}[dtype.name]
+    return cls(init)
+
+
+def reduce_array(src: Array, op: str = "+", device=None,
+                 group_size: int = 256, num_groups: int = 64) -> float:
+    """Reduce all elements of ``src`` with ``op`` ('+', 'min', 'max').
+
+    Runs the SHOC-style two-level tree (grid-stride accumulate, local
+    tree, host finish) and returns the Python scalar.
+    """
+    if op not in _REDUCE_OPS:
+        raise HPLError(f"unsupported reduction op {op!r}; "
+                       f"use one of {sorted(_REDUCE_OPS)}")
+    n = _flat_size(src)
+    num_groups = max(1, min(num_groups, n // group_size or 1))
+
+    key = ("reduce", op, src.dtype.name, group_size)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        dtype = src.dtype
+        isf = dtype.is_float
+
+        def kernel(g_in, g_out, count):
+            sdata = Array(dtype, group_size, mem=LOCAL)
+            # seed with this lane's first element (clamped: out-of-range
+            # lanes read the last element, harmless for min/max and
+            # zeroed below for '+')
+            acc = _scalar_var_for(dtype)
+            acc.assign(g_in[F.min_(idx, count - 1)])
+            if op == "+":
+                if_(idx >= count)
+                acc.assign(0)
+                endif_()
+            i = Int()
+            i.assign(idx + szx)
+            while_(i < count)
+            acc.assign(_combine(op, acc, g_in[i], isf))
+            i += szx
+            endwhile_()
+            sdata[lidx] = acc
+            F.barrier(F.LOCAL)
+            s = Int()
+            s.assign(lszx / 2)
+            while_(s > 0)
+            if_(lidx < s)
+            sdata[lidx] = _combine(op, sdata[lidx], sdata[lidx + s], isf)
+            endif_()
+            F.barrier(F.LOCAL)
+            s.assign(s / 2)
+            endwhile_()
+            if_(lidx == 0)
+            g_out[gidx] = sdata[0]
+            endif_()
+
+        kernel.__name__ = f"hpl_reduce_{op if op != '+' else 'sum'}"
+        _KERNEL_CACHE[key] = kernel
+
+    partials = Array(src.dtype, num_groups)
+    ev = hpl_eval(kernel).global_(group_size * num_groups) \
+        .local_(group_size)
+    if device is not None:
+        ev = ev.device(device)
+    ev(src, partials, Int(n))
+
+    host = partials.read()
+    if op == "+":
+        return float(host.sum()) if src.dtype.is_float else int(host.sum())
+    if op == "min":
+        return float(host.min()) if src.dtype.is_float else int(host.min())
+    return float(host.max()) if src.dtype.is_float else int(host.max())
+
+
+# -- scan -----------------------------------------------------------------------------
+
+def scan_array(src: Array, device=None) -> Array:
+    """Inclusive prefix sum of a 1-D array.
+
+    Hillis-Steele over global memory: ``ceil(log2 n)`` ping-pong passes;
+    simple, work-inefficient, and exactly what the pattern library can
+    later swap for a Blelchoch scan without changing callers.
+    """
+    if src.ndim != 1:
+        raise HPLError("scan_array expects a 1-D array")
+    n = src.size
+
+    key = ("scan", src.dtype.name)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        dtype = src.dtype
+
+        def kernel(dst, src_, offset, count):
+            if_(idx < count)
+            if_(idx >= offset)
+            dst[idx] = src_[idx] + src_[idx - offset]
+            endif_()
+            if_(idx < offset)
+            dst[idx] = src_[idx]
+            endif_()
+            endif_()
+
+        kernel.__name__ = "hpl_scan_pass"
+        _KERNEL_CACHE[key] = kernel
+
+    ping = Array(src.dtype, n, data=src.read().copy())
+    pong = Array(src.dtype, n)
+    offset = 1
+    while offset < n:
+        ev = hpl_eval(kernel).global_(n)
+        if device is not None:
+            ev = ev.device(device)
+        ev(pong, ping, Int(offset), Int(n))
+        ping, pong = pong, ping
+        offset *= 2
+    return ping
+
+
+# -- stencil -----------------------------------------------------------------------------
+
+def stencil_1d(out: Array, src: Array, weights, device=None):
+    """1-D stencil with clamped borders:
+    ``out[i] = sum_k w[k] * src[clamp(i + k - r)]`` for radius
+    ``r = len(weights) // 2``.  ``weights`` must have odd length."""
+    if len(weights) % 2 != 1:
+        raise HPLError("stencil_1d needs an odd number of weights")
+    if out.size != src.size:
+        raise HPLError("stencil_1d needs equally sized arrays")
+    radius = len(weights) // 2
+    wtuple = tuple(float(w) for w in weights)
+
+    key = ("stencil", wtuple, src.dtype.name)
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        def kernel(dst, src_, count):
+            acc = Float(0)
+            for k, w in enumerate(wtuple):
+                j = Int()
+                j.assign(F.clamp(idx + (k - radius), 0, count - 1))
+                acc += w * src_[j]
+            dst[idx] = acc
+
+        kernel.__name__ = f"hpl_stencil_r{radius}"
+        _KERNEL_CACHE[key] = kernel
+
+    ev = hpl_eval(kernel).global_(out.size)
+    if device is not None:
+        ev = ev.device(device)
+    return ev(out, src, Int(src.size))

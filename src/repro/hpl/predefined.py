@@ -1,0 +1,54 @@
+"""Predefined kernel variables (paper §III-B).
+
+``idx/idy/idz`` identify the work-item in the global domain, ``lidx/...``
+within its local domain, ``gidx/...`` identify the group.  ``szx/...``,
+``lszx/...`` and ``ngroupx/...`` give the global size, the local size and
+the group count in each dimension.
+"""
+
+from __future__ import annotations
+
+from . import kast as K
+
+#: mapping: predefined variable -> (OpenCL C query, dimension)
+PREDEFINED = {
+    "idx": ("get_global_id", 0),
+    "idy": ("get_global_id", 1),
+    "idz": ("get_global_id", 2),
+    "lidx": ("get_local_id", 0),
+    "lidy": ("get_local_id", 1),
+    "lidz": ("get_local_id", 2),
+    "gidx": ("get_group_id", 0),
+    "gidy": ("get_group_id", 1),
+    "gidz": ("get_group_id", 2),
+    "szx": ("get_global_size", 0),
+    "szy": ("get_global_size", 1),
+    "szz": ("get_global_size", 2),
+    "lszx": ("get_local_size", 0),
+    "lszy": ("get_local_size", 1),
+    "lszz": ("get_local_size", 2),
+    "ngroupx": ("get_num_groups", 0),
+    "ngroupy": ("get_num_groups", 1),
+    "ngroupz": ("get_num_groups", 2),
+}
+
+idx = K.PredefinedRef("idx")
+idy = K.PredefinedRef("idy")
+idz = K.PredefinedRef("idz")
+lidx = K.PredefinedRef("lidx")
+lidy = K.PredefinedRef("lidy")
+lidz = K.PredefinedRef("lidz")
+gidx = K.PredefinedRef("gidx")
+gidy = K.PredefinedRef("gidy")
+gidz = K.PredefinedRef("gidz")
+szx = K.PredefinedRef("szx")
+szy = K.PredefinedRef("szy")
+szz = K.PredefinedRef("szz")
+lszx = K.PredefinedRef("lszx")
+lszy = K.PredefinedRef("lszy")
+lszz = K.PredefinedRef("lszz")
+ngroupx = K.PredefinedRef("ngroupx")
+ngroupy = K.PredefinedRef("ngroupy")
+ngroupz = K.PredefinedRef("ngroupz")
+
+__all__ = list(PREDEFINED) + ["PREDEFINED"]

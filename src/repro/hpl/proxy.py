@@ -1,0 +1,220 @@
+"""Proxy objects that stand in for kernel data during tracing.
+
+* :class:`ArrayHandle` — an array visible to kernel code: a kernel
+  argument, or a private/local array declared inside the kernel body.
+  Indexing with square brackets builds :class:`~repro.hpl.kast.IndexRef`
+  nodes (paper §III-A: brackets in kernels, parentheses on the host).
+* :class:`ScalarParam` — a by-value scalar argument.
+* scalar variables declared in kernels are plain
+  :class:`~repro.hpl.kast.VarRef` nodes (created by the ``Int()``/
+  ``Double()``/... convenience classes in :mod:`repro.hpl.scalars`).
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelCaptureError
+from . import dtypes as D
+from . import kast as K
+from .builder import KernelBuilder
+
+
+class _InPlace:
+    """Sentinel returned by ``__iadd__``-style ops on element references.
+
+    ``a[i] += v`` makes Python call ``a.__setitem__(i, result)`` after the
+    ``__iadd__``; the sentinel lets ``__setitem__`` recognise that the
+    statement was already recorded and skip the double write.
+    """
+
+    __slots__ = ("ref",)
+
+    def __init__(self, ref: K.IndexRef) -> None:
+        self.ref = ref
+
+
+_AUG_OPS = {"+": "+=", "-": "-=", "*": "*=", "/": "/=", "%": "%=",
+            "&": "&=", "|": "|=", "^": "^="}
+
+
+def _record_assign(target, op: str, value) -> None:
+    builder = KernelBuilder.require("assignment to kernel data")
+    value = K.as_expr(value, hint=target.dtype)
+    value = K.resolve_untyped(value, target.dtype)
+    builder.add(K.Assign(target=target, op=op, value=value))
+
+
+class ElementRef(K.IndexRef):
+    """An ``a[i]``/``a[i][j]`` reference supporting augmented assignment."""
+
+    def assign(self, value) -> None:
+        """Explicit store: ``a[i].assign(v)`` ≡ C++ ``a[i] = v``.
+
+        Plain stores are normally written ``a[i] = v`` (via the parent
+        handle's ``__setitem__``); ``assign`` exists for symmetry with
+        scalar variables.
+        """
+        _record_assign(self, "=", value)
+
+    def _aug(self, op: str, value) -> "_InPlace":
+        _record_assign(self, _AUG_OPS[op], value)
+        return _InPlace(self)
+
+    def __iadd__(self, value):
+        return self._aug("+", value)
+
+    def __isub__(self, value):
+        return self._aug("-", value)
+
+    def __imul__(self, value):
+        return self._aug("*", value)
+
+    def __itruediv__(self, value):
+        return self._aug("/", value)
+
+    def __imod__(self, value):
+        return self._aug("%", value)
+
+    def __iand__(self, value):
+        return self._aug("&", value)
+
+    def __ior__(self, value):
+        return self._aug("|", value)
+
+    def __ixor__(self, value):
+        return self._aug("^", value)
+
+
+class ScalarVar(K.VarRef):
+    """A private scalar variable; supports ``assign`` and ``+=`` etc."""
+
+    def assign(self, value) -> "ScalarVar":
+        _record_assign(self, "=", value)
+        return self
+
+    def _aug(self, op: str, value) -> "ScalarVar":
+        _record_assign(self, _AUG_OPS[op], value)
+        return self
+
+    def __iadd__(self, value):
+        return self._aug("+", value)
+
+    def __isub__(self, value):
+        return self._aug("-", value)
+
+    def __imul__(self, value):
+        return self._aug("*", value)
+
+    def __itruediv__(self, value):
+        return self._aug("/", value)
+
+    def __imod__(self, value):
+        return self._aug("%", value)
+
+    def __iand__(self, value):
+        return self._aug("&", value)
+
+    def __ior__(self, value):
+        return self._aug("|", value)
+
+    def __ixor__(self, value):
+        return self._aug("^", value)
+
+
+class ScalarParam(K.VarRef):
+    """A by-value scalar kernel argument (read-only inside the kernel)."""
+
+    def assign(self, value) -> None:
+        raise KernelCaptureError(
+            f"scalar argument {self.name!r} is passed by value; assigning "
+            "to it would be invisible to the host. Declare a private "
+            "variable instead.")
+
+    def __iadd__(self, value):
+        self.assign(value)
+
+    __isub__ = __imul__ = __itruediv__ = __iadd__
+
+
+class ArrayHandle:
+    """An array usable inside a kernel (argument or local declaration)."""
+
+    def __init__(self, name: str, dtype: D.HPLType, shape: tuple,
+                 mem: str = D.GLOBAL, is_param: bool = True) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.shape = tuple(int(s) for s in shape)
+        self.mem = mem
+        self.is_param = is_param
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    # -- indexing ----------------------------------------------------------------
+
+    def _indices_of(self, key) -> list:
+        keys = key if isinstance(key, tuple) else (key,)
+        return [K.as_expr(k, hint=D.int_) for k in keys]
+
+    def __getitem__(self, key):
+        indices = self._indices_of(key)
+        if len(indices) > self.ndim:
+            raise KernelCaptureError(
+                f"{self.name!r} has {self.ndim} dimension(s); got "
+                f"{len(indices)} indices")
+        if len(indices) < self.ndim:
+            return _PartialIndex(self, indices)
+        return ElementRef(array=self, indices=indices, dtype=self.dtype)
+
+    def __setitem__(self, key, value) -> None:
+        indices = self._indices_of(key)
+        if isinstance(value, _InPlace):
+            return  # statement already recorded by the augmented op
+        if len(indices) != self.ndim:
+            raise KernelCaptureError(
+                f"assignment to {self.name!r} needs {self.ndim} "
+                f"index(es), got {len(indices)}")
+        target = ElementRef(array=self, indices=indices, dtype=self.dtype)
+        _record_assign(target, "=", value)
+
+    def __repr__(self) -> str:
+        return (f"<ArrayHandle {self.name} {self.dtype}"
+                f"{list(self.shape)} {self.mem}>")
+
+    def __bool__(self):
+        raise KernelCaptureError(
+            "an HPL array has no truth value inside a kernel")
+
+
+class _PartialIndex:
+    """Intermediate of chained indexing ``a[i][j]`` on a 2-D/3-D array."""
+
+    __slots__ = ("handle", "indices")
+
+    def __init__(self, handle: ArrayHandle, indices: list) -> None:
+        self.handle = handle
+        self.indices = indices
+
+    def __getitem__(self, key):
+        more = self.handle._indices_of(key)
+        total = self.indices + more
+        if len(total) > self.handle.ndim:
+            raise KernelCaptureError(
+                f"{self.handle.name!r}: too many indices")
+        if len(total) < self.handle.ndim:
+            return _PartialIndex(self.handle, total)
+        return ElementRef(array=self.handle, indices=total,
+                          dtype=self.handle.dtype)
+
+    def __setitem__(self, key, value) -> None:
+        if isinstance(value, _InPlace):
+            return
+        more = self.handle._indices_of(key)
+        total = self.indices + more
+        if len(total) != self.handle.ndim:
+            raise KernelCaptureError(
+                f"assignment to {self.handle.name!r} needs "
+                f"{self.handle.ndim} index(es)")
+        target = ElementRef(array=self.handle, indices=total,
+                            dtype=self.handle.dtype)
+        _record_assign(target, "=", value)

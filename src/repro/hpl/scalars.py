@@ -1,0 +1,101 @@
+"""Scalar convenience types: ``Int``, ``Uint``, ``Double``, ... (§III-A).
+
+The paper defines scalars as ``Array`` with ``ndim=0`` and provides these
+classes for convenience.  Their behaviour depends on where they are
+instantiated:
+
+* **inside a kernel** (while tracing): ``i = Int()`` declares a private
+  scalar variable and returns a :class:`~repro.hpl.proxy.ScalarVar`
+  usable in expressions, ``for_`` loops and with ``.assign()``;
+* **on the host**: ``a = Double(3.5)`` creates a typed scalar container
+  that can be passed to kernels by value (``a.value`` reads it back).
+"""
+
+from __future__ import annotations
+
+from . import dtypes as D
+from . import kast as K
+from .builder import KernelBuilder
+from .proxy import ScalarVar
+
+
+class HostScalar:
+    """A typed scalar living on the host, passable to kernels by value."""
+
+    __slots__ = ("dtype", "_value")
+
+    def __init__(self, dtype: D.HPLType, value=0) -> None:
+        self.dtype = dtype
+        self._value = self._coerce(value)
+
+    def _coerce(self, value):
+        return (float(value) if self.dtype.is_float else int(value))
+
+    @property
+    def value(self):
+        return self._value
+
+    @value.setter
+    def value(self, new) -> None:
+        self._value = self._coerce(new)
+
+    def set(self, new) -> "HostScalar":
+        self.value = new
+        return self
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __int__(self) -> int:
+        return int(self._value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._value!r})"
+
+
+def _scalar_class(type_name: str, hpl_type: D.HPLType):
+    class _Scalar(HostScalar):
+        dtype_static = hpl_type
+
+        def __new__(cls, value=0, name: str | None = None):
+            builder = KernelBuilder.current()
+            if builder is None:
+                return super().__new__(cls)
+            # inside a kernel: declare a private scalar variable
+            var_name = builder.claim_name(name) if name \
+                else builder.fresh_name("v")
+            init = K.as_expr(value, hint=hpl_type) if value is not None \
+                else None
+            if init is not None:
+                init = K.resolve_untyped(init, hpl_type)
+            builder.add(K.DeclScalar(name=var_name, dtype=hpl_type,
+                                     init=init))
+            return ScalarVar(name=var_name, dtype=hpl_type)
+
+        def __init__(self, value=0, name: str | None = None):
+            # only reached for host scalars (kernel path returns ScalarVar)
+            super().__init__(hpl_type, value if value is not None else 0)
+
+    _Scalar.__name__ = type_name
+    _Scalar.__qualname__ = type_name
+    _Scalar.__doc__ = (f"HPL ``{type_name}`` scalar "
+                       f"(OpenCL ``{hpl_type.name}``); see module docs.")
+    return _Scalar
+
+
+Int = _scalar_class("Int", D.int_)
+Uint = _scalar_class("Uint", D.uint_)
+Long = _scalar_class("Long", D.long_)
+Ulong = _scalar_class("Ulong", D.ulong_)
+Short = _scalar_class("Short", D.short_)
+Ushort = _scalar_class("Ushort", D.ushort_)
+Char = _scalar_class("Char", D.char_)
+Uchar = _scalar_class("Uchar", D.uchar_)
+Float = _scalar_class("Float", D.float_)
+Double = _scalar_class("Double", D.double_)
+
+SCALAR_CLASSES = (Int, Uint, Long, Ulong, Short, Ushort, Char, Uchar,
+                  Float, Double)
+
+__all__ = ["HostScalar", "Int", "Uint", "Long", "Ulong", "Short", "Ushort",
+           "Char", "Uchar", "Float", "Double", "SCALAR_CLASSES"]

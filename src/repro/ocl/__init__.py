@@ -1,0 +1,39 @@
+"""``repro.ocl`` — SimCL, a simulated OpenCL 1.x platform.
+
+The host-facing surface mirrors the OpenCL object model (and pyopencl's
+naming): :func:`get_platforms` → :class:`Device` → :class:`Context` →
+:class:`CommandQueue` / :class:`Buffer` / :class:`Program` /
+:class:`Kernel` → :class:`Event`.
+
+Kernels are OpenCL C source strings compiled by :mod:`repro.clc` and run
+functionally by the engines in :mod:`repro.ocl.engines`; time is modelled
+by :mod:`repro.ocl.costmodel` over dynamic counts measured during
+execution.  See DESIGN.md for why this substrate preserves the behaviours
+the paper's evaluation depends on.
+"""
+
+from .api import (CLK_GLOBAL_MEM_FENCE, CLK_LOCAL_MEM_FENCE, command_type,
+                  device_type, mem_flags)
+from .buffer import Buffer, LocalMemory
+from .context import Context
+from .costmodel import CostCounters, TimeBreakdown, kernel_time, transfer_time
+from .device import Device
+from .devicedb import (DEFAULT_DEVICES, QUADRO_FX380, TESLA_C2050,
+                       XEON_HOST, XEON_SERIAL, DeviceSpec, spec_by_name)
+from .event import Event
+from .kernel_obj import Kernel
+from .platform import (Platform, get_platforms, reset_platform_devices,
+                       set_platform_devices)
+from .program import Program
+from .queue import CommandQueue
+
+__all__ = [
+    "get_platforms", "Platform", "Device", "Context", "CommandQueue",
+    "Buffer", "LocalMemory", "Program", "Kernel", "Event",
+    "mem_flags", "device_type", "command_type",
+    "CLK_LOCAL_MEM_FENCE", "CLK_GLOBAL_MEM_FENCE",
+    "DeviceSpec", "TESLA_C2050", "QUADRO_FX380", "XEON_HOST", "XEON_SERIAL",
+    "DEFAULT_DEVICES", "spec_by_name", "set_platform_devices",
+    "reset_platform_devices",
+    "CostCounters", "TimeBreakdown", "kernel_time", "transfer_time",
+]

@@ -1,0 +1,40 @@
+"""Constants mirroring the OpenCL 1.x host API enums used by SimCL."""
+
+from __future__ import annotations
+
+from enum import IntFlag
+
+
+class mem_flags(IntFlag):
+    """``cl_mem_flags`` for :class:`repro.ocl.buffer.Buffer`."""
+
+    READ_WRITE = 1 << 0
+    WRITE_ONLY = 1 << 1
+    READ_ONLY = 1 << 2
+    USE_HOST_PTR = 1 << 3
+    ALLOC_HOST_PTR = 1 << 4
+    COPY_HOST_PTR = 1 << 5
+
+
+class device_type(IntFlag):
+    """``cl_device_type`` selectors for :meth:`Platform.get_devices`."""
+
+    DEFAULT = 1 << 0
+    CPU = 1 << 1
+    GPU = 1 << 2
+    ACCELERATOR = 1 << 3
+    ALL = 0xFFFFFFFF
+
+
+class command_type(IntFlag):
+    """What a queue entry did - surfaced on events for tests/inspection."""
+
+    NDRANGE_KERNEL = 1 << 0
+    READ_BUFFER = 1 << 1
+    WRITE_BUFFER = 1 << 2
+    COPY_BUFFER = 1 << 3
+
+
+#: barrier() flag bits (match the values sema gives the CLK_* constants)
+CLK_LOCAL_MEM_FENCE = 1
+CLK_GLOBAL_MEM_FENCE = 2

@@ -1,0 +1,152 @@
+"""Analytic device performance model for SimCL.
+
+The execution engines *functionally* execute every kernel and, while doing
+so, fill a :class:`CostCounters` with dynamic counts: weighted ALU
+operations, global/local memory traffic, memory *transactions* (derived
+from the real per-warp address streams, so coalescing is measured, not
+assumed), and barriers.  :func:`kernel_time` converts those counts into a
+simulated execution time for a given :class:`DeviceSpec`.
+
+The model is a standard throughput/roofline hybrid:
+
+* **GPU**: compute time and memory time overlap, so the kernel time is
+  ``max(compute, memory) + launch overhead``.  Compute throughput is
+  ``compute_units x clock x ipc`` weighted-ops per second (fp64 ops are
+  scaled by ``1/fp64_ratio``).  Memory time is
+  ``transactions x segment_bytes / bandwidth``: scattered accesses cost
+  whole segments, which is exactly why spmv sees a small fraction of the
+  speedup EP sees — the first-order effect behind the spread in Figure 7.
+* **CPU**: a serial/low-parallelism processor cannot overlap as deeply, so
+  time is ``compute + memory`` with byte-accurate (not segment) traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .devicedb import DeviceSpec
+
+
+@dataclass
+class CostCounters:
+    """Dynamic execution counts for one kernel launch (whole NDRange)."""
+
+    work_items: int = 0
+    work_groups: int = 0
+    #: weighted ALU operations (1.0 == one fp32 add), excluding fp64
+    alu_ops: float = 0.0
+    #: weighted ALU operations executed in double precision
+    fp64_ops: float = 0.0
+    global_loads: int = 0
+    global_stores: int = 0
+    global_load_bytes: int = 0
+    global_store_bytes: int = 0
+    #: 128-byte-segment transactions measured from real address streams
+    global_load_transactions: int = 0
+    global_store_transactions: int = 0
+    local_accesses: int = 0
+    barriers: int = 0
+
+    def merge(self, other: "CostCounters") -> None:
+        """Accumulate ``other`` into ``self`` (used across launches)."""
+        for f in ("alu_ops", "fp64_ops", "global_loads", "global_stores",
+                  "global_load_bytes", "global_store_bytes",
+                  "global_load_transactions", "global_store_transactions",
+                  "local_accesses", "barriers"):
+            setattr(self, f, getattr(self, f) + getattr(other, f))
+        self.work_items = max(self.work_items, other.work_items)
+        self.work_groups = max(self.work_groups, other.work_groups)
+
+    @property
+    def global_bytes(self) -> int:
+        return self.global_load_bytes + self.global_store_bytes
+
+    @property
+    def global_transactions(self) -> int:
+        return (self.global_load_transactions
+                + self.global_store_transactions)
+
+    def scaled(self, factor: float) -> "CostCounters":
+        """A copy with every extensive quantity multiplied by ``factor``.
+
+        Used to extrapolate simulated time when a benchmark runs a scaled
+        problem size (see EXPERIMENTS.md).
+        """
+        c = CostCounters(work_items=int(self.work_items * factor),
+                         work_groups=int(self.work_groups * factor))
+        for f in ("alu_ops", "fp64_ops", "local_accesses", "barriers"):
+            setattr(c, f, getattr(self, f) * factor)
+        for f in ("global_loads", "global_stores", "global_load_bytes",
+                  "global_store_bytes", "global_load_transactions",
+                  "global_store_transactions"):
+            setattr(c, f, int(getattr(self, f) * factor))
+        return c
+
+
+@dataclass
+class TimeBreakdown:
+    """Simulated kernel time with its components, in seconds."""
+
+    compute: float
+    memory: float
+    barrier: float
+    launch: float
+    total: float
+
+
+def kernel_time(counters: CostCounters, spec: DeviceSpec) -> TimeBreakdown:
+    """Simulated execution time of one launch on ``spec``."""
+    throughput = spec.compute_units * spec.clock_ghz * 1e9 * spec.ipc
+    weighted_ops = counters.alu_ops
+    if counters.fp64_ops:
+        if spec.fp64_ratio <= 0:
+            raise ValueError(
+                f"{spec.name} does not support double precision")
+        weighted_ops += counters.fp64_ops / spec.fp64_ratio
+    # local memory traffic shares ALU issue slots
+    weighted_ops += counters.local_accesses * spec.local_access_cost
+    compute = weighted_ops / throughput
+
+    bw = spec.mem_bandwidth_gbs * 1e9
+    if spec.is_cpu:
+        memory = counters.global_bytes / bw
+    else:
+        memory = counters.global_transactions * spec.segment_bytes / bw
+
+    barrier = (counters.barriers * spec.barrier_cycles
+               / (spec.clock_ghz * 1e9))
+    launch = spec.launch_overhead_us * 1e-6
+
+    if spec.is_cpu:
+        total = compute + memory + barrier + launch
+    else:
+        total = max(compute, memory) + barrier + launch
+    return TimeBreakdown(compute=compute, memory=memory, barrier=barrier,
+                         launch=launch, total=total)
+
+
+def transfer_time(nbytes: int, spec: DeviceSpec) -> float:
+    """Simulated host<->device transfer time for ``nbytes``, seconds."""
+    if nbytes <= 0:
+        return spec.transfer_latency_us * 1e-6
+    return (spec.transfer_latency_us * 1e-6
+            + nbytes / (spec.transfer_gbs * 1e9))
+
+
+# -- coalescing ----------------------------------------------------------------
+
+def count_transactions(byte_addresses, warp_ids, segment_bytes: int):
+    """Number of memory transactions for a vector of accesses.
+
+    ``byte_addresses`` and ``warp_ids`` are equal-length integer arrays:
+    the byte address each active lane touches and the warp each lane
+    belongs to.  A transaction is one distinct ``segment_bytes``-sized
+    segment touched by one warp — the Fermi-style coalescing rule.
+    """
+    import numpy as np
+
+    if len(byte_addresses) == 0:
+        return 0
+    segments = byte_addresses // segment_bytes
+    keys = warp_ids.astype(np.int64) * (1 << 40) + segments.astype(np.int64)
+    return int(np.unique(keys).size)

@@ -1,0 +1,87 @@
+"""Device objects exposed by the SimCL platform."""
+
+from __future__ import annotations
+
+from .devicedb import DeviceSpec
+from .engines.serial import SerialEngine
+from .engines.vector import VectorEngine
+
+_ENGINES = {"vector": VectorEngine, "serial": SerialEngine}
+
+
+class Device:
+    """One simulated compute device.
+
+    Mirrors the informational surface of ``clGetDeviceInfo`` and selects
+    the execution engine used for kernels enqueued to it.  The lock-step
+    ``vector`` engine is the default; the ``serial`` reference interpreter
+    can be requested for debugging/differential testing.
+    """
+
+    def __init__(self, spec: DeviceSpec, engine: str = "vector") -> None:
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown engine {engine!r}")
+        self.spec = spec
+        self.engine_name = engine
+
+    # -- clGetDeviceInfo-style properties -----------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def vendor(self) -> str:
+        return self.spec.vendor
+
+    @property
+    def type(self):
+        return self.spec.type
+
+    @property
+    def max_compute_units(self) -> int:
+        return self.spec.compute_units
+
+    @property
+    def max_clock_frequency(self) -> int:
+        """In MHz, like the real query."""
+        return int(self.spec.clock_ghz * 1000)
+
+    @property
+    def global_mem_size(self) -> int:
+        return self.spec.global_mem_bytes
+
+    @property
+    def local_mem_size(self) -> int:
+        return self.spec.local_mem_bytes
+
+    @property
+    def max_work_group_size(self) -> int:
+        return self.spec.max_work_group_size
+
+    @property
+    def max_work_item_sizes(self) -> tuple:
+        return self.spec.max_work_item_sizes
+
+    @property
+    def extensions(self) -> str:
+        return self.spec.extensions
+
+    @property
+    def supports_fp64(self) -> bool:
+        return self.spec.has_fp64
+
+    @property
+    def is_cpu(self) -> bool:
+        return self.spec.is_cpu
+
+    @property
+    def is_gpu(self) -> bool:
+        from .api import device_type
+        return bool(self.spec.type & device_type.GPU)
+
+    def make_engine(self, program):
+        return _ENGINES[self.engine_name](program, self.spec)
+
+    def __repr__(self) -> str:
+        return f"<Device {self.name!r} ({self.engine_name} engine)>"

@@ -1,0 +1,22 @@
+"""Execution engines that run compiled kernel IR.
+
+Two engines implement the same interface:
+
+* :class:`~repro.ocl.engines.serial.SerialEngine` — a per-work-item
+  reference interpreter with generator-based barriers.  Slow, obviously
+  correct; used for small problems and as the differential-testing oracle.
+* :class:`~repro.ocl.engines.vector.VectorEngine` — a lock-step SIMT
+  engine that executes every work-item of the NDRange simultaneously as
+  NumPy lanes, handling divergence with activity masks.  This is how the
+  simulated GPUs execute real workloads at tolerable wall-clock cost.
+
+Both engines fill a :class:`repro.ocl.costmodel.CostCounters` while they
+run; the cost model turns those counts into simulated device time.
+"""
+
+from .base import BufferBinding, LocalBinding, NDRange, ScalarBinding
+from .serial import SerialEngine
+from .vector import VectorEngine
+
+__all__ = ["NDRange", "ScalarBinding", "BufferBinding", "LocalBinding",
+           "SerialEngine", "VectorEngine"]

@@ -1,0 +1,198 @@
+"""Shared engine infrastructure: NDRange geometry and argument bindings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...clc.types import CLType, PointerType, ScalarType
+from ...errors import (InvalidKernelArgs, InvalidWorkDimension,
+                       InvalidWorkGroupSize)
+
+
+def _as_tuple(size) -> tuple[int, ...]:
+    if isinstance(size, int):
+        return (size,)
+    return tuple(int(s) for s in size)
+
+
+class NDRange:
+    """Geometry of one kernel launch: global/local domains up to 3-D.
+
+    Work-items are flattened **group-major**: all items of group 0 first
+    (local x fastest), then group 1, ... — the natural layout for the
+    lock-step vector engine and for per-warp coalescing measurement.
+    """
+
+    def __init__(self, global_size, local_size=None,
+                 max_work_group_size: int = 1 << 30,
+                 max_work_item_sizes=(1 << 30,) * 3) -> None:
+        gsize = _as_tuple(global_size)
+        if not 1 <= len(gsize) <= 3:
+            raise InvalidWorkDimension(
+                f"global domain must have 1-3 dimensions, got {len(gsize)}")
+        if any(g <= 0 for g in gsize):
+            raise InvalidWorkDimension(f"empty global domain {gsize}")
+        if local_size is None:
+            lsize = self._default_local(gsize, max_work_group_size)
+        else:
+            lsize = _as_tuple(local_size)
+            if len(lsize) != len(gsize):
+                raise InvalidWorkGroupSize(
+                    f"local domain {lsize} must match global domain "
+                    f"dimensionality {gsize}")
+        for g, l, cap in zip(gsize, lsize, max_work_item_sizes):
+            if l <= 0 or l > cap:
+                raise InvalidWorkGroupSize(f"bad local size {lsize}")
+            if g % l != 0:
+                raise InvalidWorkGroupSize(
+                    f"local size {lsize} does not divide global size "
+                    f"{gsize}")
+        group_items = int(np.prod(lsize))
+        if group_items > max_work_group_size:
+            raise InvalidWorkGroupSize(
+                f"work-group of {group_items} items exceeds the device "
+                f"maximum {max_work_group_size}")
+
+        self.dim = len(gsize)
+        self.global_size = gsize
+        self.local_size = lsize
+        self.num_groups = tuple(g // l for g, l in zip(gsize, lsize))
+        self.items_per_group = group_items
+        self.total_items = int(np.prod(gsize))
+        self.total_groups = int(np.prod(self.num_groups))
+
+    @staticmethod
+    def _default_local(gsize: tuple[int, ...], cap: int) -> tuple[int, ...]:
+        """Pick a local size the way the HPL runtime does: the largest
+        power-of-two divisor of each dimension whose product stays within
+        the device limit (at most 256 items, a universally safe default)."""
+        budget = min(cap, 256)
+        lsize = []
+        for g in gsize:
+            l = 1
+            while l * 2 <= budget and g % (l * 2) == 0 and l * 2 <= 256:
+                l *= 2
+            lsize.append(l)
+            budget = max(1, budget // l)
+        return tuple(lsize)
+
+    # -- flattened id arrays (vector engine) -----------------------------------
+
+    def lane_ids(self) -> dict[str, np.ndarray]:
+        """Per-lane id arrays in group-major order (see class docstring)."""
+        n = self.total_items
+        lane = np.arange(n, dtype=np.int64)
+        ipg = self.items_per_group
+        group = lane // ipg
+        within = lane % ipg
+
+        lx_, ly_, lz_ = (self.local_size + (1, 1, 1))[:3]
+        ngx, ngy, _ngz = (self.num_groups + (1, 1, 1))[:3]
+
+        lx = within % lx_
+        ly = (within // lx_) % ly_
+        lz = within // (lx_ * ly_)
+        gx_ = group % ngx
+        gy_ = (group // ngx) % ngy
+        gz_ = group // (ngx * ngy)
+
+        ids = {
+            "lidx": lx, "lidy": ly, "lidz": lz,
+            "gidx": gx_, "gidy": gy_, "gidz": gz_,
+            "idx": gx_ * lx_ + lx,
+            "idy": gy_ * ly_ + ly,
+            "idz": gz_ * lz_ + lz,
+            "group_flat": group,
+            "lane": lane,
+        }
+        return {k: v.astype(np.int64) for k, v in ids.items()}
+
+    def item_ids(self, flat: int) -> dict[str, int]:
+        """Scalar ids of one flattened work-item (serial engine)."""
+        ipg = self.items_per_group
+        group, within = divmod(flat, ipg)
+        lx_, ly_, lz_ = (self.local_size + (1, 1, 1))[:3]
+        ngx, ngy, _ngz = (self.num_groups + (1, 1, 1))[:3]
+        lx = within % lx_
+        ly = (within // lx_) % ly_
+        lz = within // (lx_ * ly_)
+        gx_ = group % ngx
+        gy_ = (group // ngx) % ngy
+        gz_ = group // (ngx * ngy)
+        return {
+            "lidx": lx, "lidy": ly, "lidz": lz,
+            "gidx": gx_, "gidy": gy_, "gidz": gz_,
+            "idx": gx_ * lx_ + lx, "idy": gy_ * ly_ + ly,
+            "idz": gz_ * lz_ + lz,
+            "group_flat": group,
+        }
+
+    def size_of(self, what: str, dim: int) -> int:
+        """Value of a ``get_*_size``-style query for dimension ``dim``."""
+        table = {
+            "get_global_size": self.global_size,
+            "get_local_size": self.local_size,
+            "get_num_groups": self.num_groups,
+        }
+        seq = table[what]
+        return seq[dim] if dim < len(seq) else 1
+
+
+# -- argument bindings ---------------------------------------------------------------
+
+@dataclass
+class ScalarBinding:
+    """A by-value scalar kernel argument."""
+    value: object
+    type: ScalarType
+
+
+@dataclass
+class BufferBinding:
+    """A device buffer bound to a pointer parameter.
+
+    ``array`` is the buffer's backing store viewed with the parameter's
+    element dtype (1-D).  ``space`` is ``global`` or ``constant``.
+    """
+    array: np.ndarray
+    space: str = "global"
+
+
+@dataclass
+class LocalBinding:
+    """A ``__local`` pointer argument given by size only (clSetKernelArg
+    with a NULL pointer), as the reduction benchmark uses."""
+    nbytes: int
+
+
+def check_args(kernel, args) -> None:
+    """Validate binding kinds/counts against the kernel signature."""
+    params = kernel.params
+    if len(args) != len(params):
+        raise InvalidKernelArgs(
+            f"kernel {kernel.name!r} expects {len(params)} argument(s), "
+            f"got {len(args)}")
+    for param, arg in zip(params, args):
+        ptype: CLType = param.type
+        if isinstance(ptype, ScalarType):
+            if not isinstance(arg, ScalarBinding):
+                raise InvalidKernelArgs(
+                    f"argument {param.name!r} must be a scalar")
+        elif isinstance(ptype, PointerType):
+            if ptype.address_space == "local":
+                if not isinstance(arg, LocalBinding):
+                    raise InvalidKernelArgs(
+                        f"argument {param.name!r} is a __local pointer; "
+                        "bind it with a LocalBinding(size)")
+            elif not isinstance(arg, BufferBinding):
+                raise InvalidKernelArgs(
+                    f"argument {param.name!r} must be a buffer")
+            elif arg.array.dtype != ptype.pointee.np_dtype:
+                raise InvalidKernelArgs(
+                    f"buffer dtype {arg.array.dtype} does not match "
+                    f"parameter {param.name!r} element type "
+                    f"{ptype.pointee}")
+        else:  # pragma: no cover - signature rules prevent this
+            raise InvalidKernelArgs(f"unsupported parameter type {ptype}")

@@ -1,0 +1,73 @@
+"""C arithmetic semantics on top of NumPy.
+
+NumPy's integer division/modulo floor toward negative infinity; C (and
+OpenCL C) truncate toward zero.  Shifts in OpenCL take the amount modulo
+the bit width.  These helpers implement the C behaviour for both array and
+scalar operands, and are shared by the serial and vector engines so the
+two cannot disagree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def c_idiv(a, b):
+    """C integer division: truncation toward zero, div-by-zero yields 0."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        b_safe = np.where(b == 0, 1, b)
+        q = np.floor_divide(a, b_safe)
+        r = a - q * b_safe
+        fix = (r != 0) & ((a < 0) != (b_safe < 0))
+        q = np.where(fix, q + np.asarray(1, dtype=np.result_type(q)), q)
+        return np.where(b == 0, np.asarray(0, dtype=np.result_type(q)), q)
+
+
+def c_imod(a, b):
+    """C integer remainder: ``a - b * c_idiv(a, b)`` (sign of ``a``)."""
+    q = c_idiv(a, b)
+    return np.where(b == 0, np.asarray(0, dtype=np.result_type(a)),
+                    a - q * b)
+
+
+def c_shl(a, b):
+    """OpenCL ``<<``: shift amount taken modulo the bit width of ``a``."""
+    bits = np.dtype(np.result_type(a)).itemsize * 8
+    return a << (b.astype(np.int64) % bits if hasattr(b, "astype")
+                 else int(b) % bits)
+
+
+def c_shr(a, b):
+    """OpenCL ``>>`` (arithmetic for signed, logical for unsigned)."""
+    bits = np.dtype(np.result_type(a)).itemsize * 8
+    return a >> (b.astype(np.int64) % bits if hasattr(b, "astype")
+                 else int(b) % bits)
+
+
+def c_div(a, b, is_float: bool):
+    """C ``/`` for either float or integer operand types."""
+    if is_float:
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return a / b
+    return c_idiv(a, b)
+
+
+def truth(x):
+    """C truthiness of a value/array: nonzero -> 1."""
+    return x != 0
+
+
+def to_dtype(value, np_dtype):
+    """Convert a value/array to ``np_dtype`` with C truncation semantics."""
+    arr = np.asarray(value)
+    if np.issubdtype(np_dtype, np.integer) and np.issubdtype(
+            arr.dtype, np.floating):
+        with np.errstate(invalid="ignore", over="ignore"):
+            arr = np.nan_to_num(np.trunc(arr),
+                                nan=0.0, posinf=0.0, neginf=0.0)
+            # cast via int64 first so out-of-range values wrap instead of
+            # raising on platforms where float->small-int is checked
+            return arr.astype(np.int64, copy=False).astype(np_dtype,
+                                                           copy=False)
+    with np.errstate(over="ignore", invalid="ignore"):
+        return arr.astype(np_dtype, copy=False)

@@ -1,0 +1,519 @@
+"""Lock-step SIMT execution engine.
+
+Every work-item of the NDRange executes simultaneously as one NumPy
+"lane"; private variables are length-``n`` arrays, divergent control flow
+runs under boolean activity masks (the classic whole-NDRange vectorization
+used by SIMT simulators).  Because all lanes advance in lock step,
+work-group barriers are natural synchronisation points and cost only their
+model time.
+
+While executing, the engine measures the dynamic cost of the launch:
+weighted ALU ops per active lane, global/local memory traffic and — from
+the *actual byte addresses* each warp touches — the number of coalesced
+memory transactions.  This is what makes the simulated GPU reward
+contiguous accesses and punish scattered ones, reproducing the first-order
+performance effects the paper's evaluation relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...clc import ir as I
+from ...clc.builtins import BUILTINS
+from ...clc.types import DOUBLE, PointerType, ScalarType
+from ...errors import InvalidKernelArgs, KernelLaunchError, OutOfResources
+from ..costmodel import CostCounters, count_transactions
+from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
+                   check_args)
+from .carith import c_div, c_imod, c_shl, c_shr, to_dtype, truth
+
+#: weighted cost (in fp32-add units) of the arithmetic operators
+_OP_COST = {"+": 1.0, "-": 1.0, "*": 1.0,
+            "/": 8.0, "%": 16.0,
+            "<<": 1.0, ">>": 1.0, "&": 1.0, "|": 1.0, "^": 1.0,
+            "==": 1.0, "!=": 1.0, "<": 1.0, ">": 1.0, "<=": 1.0,
+            ">=": 1.0, "&&": 1.0, "||": 1.0}
+
+_MAX_LOOP_ITERATIONS = 50_000_000
+
+
+class _Mem:
+    """A memory object visible to kernel code under a name."""
+
+    __slots__ = ("array", "kind", "space", "name")
+
+    def __init__(self, array: np.ndarray, kind: str, space: str,
+                 name: str) -> None:
+        self.array = array
+        self.kind = kind      # buffer | local | private
+        self.space = space    # global | constant | local | private
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.array.shape[-1]
+
+
+class _Frame:
+    """One function activation: environment + return bookkeeping."""
+
+    def __init__(self, n: int, ret_dtype=None) -> None:
+        self.env: dict[str, object] = {}
+        self.return_mask = np.zeros(n, dtype=bool)
+        self.ret_value = (np.zeros(n, dtype=ret_dtype)
+                          if ret_dtype is not None else None)
+
+
+class _Loop:
+    def __init__(self, n: int) -> None:
+        self.break_mask = np.zeros(n, dtype=bool)
+        self.continue_mask = np.zeros(n, dtype=bool)
+
+
+class VectorEngine:
+    """Execute one kernel launch over a whole NDRange in lock step."""
+
+    name = "vector"
+
+    def __init__(self, program, spec) -> None:
+        self.program = program
+        self.spec = spec
+
+    # -- public ------------------------------------------------------------------
+
+    def run(self, kernel_name: str, args: list, global_size,
+            local_size=None) -> CostCounters:
+        kernel = self.program.functions.get(kernel_name)
+        if kernel is None or not kernel.is_kernel:
+            raise InvalidKernelArgs(f"no kernel named {kernel_name!r}")
+        check_args(kernel, args)
+
+        nd = NDRange(global_size, local_size,
+                     max_work_group_size=self.spec.max_work_group_size,
+                     max_work_item_sizes=self.spec.max_work_item_sizes)
+        self.nd = nd
+        self.n = nd.total_items
+        ids = nd.lane_ids()
+        self.ids = ids
+        self.group_flat = ids["group_flat"]
+        self.lane = ids["lane"]
+        self.warp_ids = self.lane // max(1, self.spec.warp_size)
+
+        self.counters = CostCounters(work_items=self.n,
+                                     work_groups=nd.total_groups)
+        self.frames: list[_Frame] = []
+        self.loops: list[_Loop] = []
+        self._local_bytes = 0
+
+        frame = _Frame(self.n)
+        self._bind_args(frame, kernel, args)
+        self.frames.append(frame)
+
+        mask = np.ones(self.n, dtype=bool)
+        with np.errstate(all="ignore"):
+            self._run_block(kernel.body, mask)
+        self.frames.pop()
+        return self.counters
+
+    # -- argument binding ----------------------------------------------------------
+
+    def _bind_args(self, frame: _Frame, kernel, args) -> None:
+        for param, arg in zip(kernel.params, args):
+            if isinstance(arg, ScalarBinding):
+                dtype = param.type.np_dtype
+                frame.env[param.name] = dtype.type(arg.value)
+            elif isinstance(arg, BufferBinding):
+                space = param.type.address_space
+                frame.env[param.name] = _Mem(arg.array, "buffer", space,
+                                             param.name)
+            elif isinstance(arg, LocalBinding):
+                elem = param.type.pointee
+                nelems = arg.nbytes // elem.size
+                self._account_local(arg.nbytes)
+                storage = np.zeros((self.nd.total_groups, nelems),
+                                   dtype=elem.np_dtype)
+                frame.env[param.name] = _Mem(storage, "local", "local",
+                                             param.name)
+            else:  # pragma: no cover - check_args filters this
+                raise InvalidKernelArgs(f"bad binding for {param.name!r}")
+
+    def _account_local(self, nbytes: int) -> None:
+        self._local_bytes += nbytes
+        if self._local_bytes > self.spec.local_mem_bytes:
+            raise OutOfResources(
+                f"work-group needs {self._local_bytes} B of local memory; "
+                f"{self.spec.name} provides {self.spec.local_mem_bytes} B")
+
+    # -- statement execution -----------------------------------------------------------
+
+    def _run_block(self, stmts: list, mask: np.ndarray) -> np.ndarray:
+        for stmt in stmts:
+            if not mask.any():
+                return mask
+            mask = self._run_stmt(stmt, mask)
+        return mask
+
+    def _run_stmt(self, stmt, mask: np.ndarray) -> np.ndarray:
+        frame = self.frames[-1]
+        if isinstance(stmt, I.DeclVar):
+            dtype = stmt.type.np_dtype
+            if stmt.name not in frame.env:
+                frame.env[stmt.name] = np.zeros(self.n, dtype=dtype)
+            if stmt.init is not None:
+                value = self._eval(stmt.init, mask)
+                self._store_scalar(frame.env[stmt.name], value, mask)
+            return mask
+        if isinstance(stmt, I.DeclArray):
+            if stmt.name not in frame.env:
+                if stmt.space == "local":
+                    nbytes = stmt.size * stmt.element.size
+                    self._account_local(nbytes)
+                    storage = np.zeros((self.nd.total_groups, stmt.size),
+                                       dtype=stmt.element.np_dtype)
+                    frame.env[stmt.name] = _Mem(storage, "local", "local",
+                                                stmt.name)
+                else:
+                    storage = np.zeros((self.n, stmt.size),
+                                       dtype=stmt.element.np_dtype)
+                    frame.env[stmt.name] = _Mem(storage, "private",
+                                                "private", stmt.name)
+            return mask
+        if isinstance(stmt, I.Store):
+            self._exec_store(stmt, mask)
+            return mask
+        if isinstance(stmt, I.AtomicRMW):
+            self._exec_atomic(stmt, mask)
+            return mask
+        if isinstance(stmt, I.EvalExpr):
+            self._eval(stmt.expr, mask)
+            return mask
+        if isinstance(stmt, I.If):
+            cond = truth(self._broadcast(self._eval(stmt.cond, mask)))
+            then_mask = mask & cond
+            else_mask = mask & ~cond
+            out_then = (self._run_block(stmt.then, then_mask)
+                        if then_mask.any() else then_mask)
+            out_else = (self._run_block(stmt.otherwise, else_mask)
+                        if else_mask.any() else else_mask)
+            return out_then | out_else
+        if isinstance(stmt, I.While):
+            return self._exec_while(stmt, mask)
+        if isinstance(stmt, I.Break):
+            self.loops[-1].break_mask |= mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, I.Continue):
+            self.loops[-1].continue_mask |= mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, I.Return):
+            if stmt.value is not None and frame.ret_value is not None:
+                value = self._broadcast(self._eval(stmt.value, mask))
+                frame.ret_value[mask] = to_dtype(
+                    value, frame.ret_value.dtype)[mask]
+            frame.return_mask |= mask
+            return np.zeros_like(mask)
+        if isinstance(stmt, I.BarrierStmt):
+            active_groups = int(np.unique(self.group_flat[mask]).size)
+            self.counters.barriers += active_groups
+            return mask
+        raise KernelLaunchError(
+            f"vector engine cannot execute {type(stmt).__name__}")
+
+    def _exec_while(self, stmt: I.While, mask: np.ndarray) -> np.ndarray:
+        active = mask.copy()
+        first = stmt.is_do_while
+        iterations = 0
+        while True:
+            if not first:
+                if not active.any():
+                    break
+                cond = truth(self._broadcast(self._eval(stmt.cond, active)))
+                active = active & cond
+            first = False
+            if not active.any():
+                break
+            loop = _Loop(self.n)
+            self.loops.append(loop)
+            after = self._run_block(stmt.body, active)
+            self.loops.pop()
+            after = after | loop.continue_mask
+            if stmt.update and after.any():
+                for u in stmt.update:
+                    self._run_stmt(u, after)
+            active = after
+            iterations += 1
+            if iterations > _MAX_LOOP_ITERATIONS:
+                raise KernelLaunchError(
+                    f"loop at line {stmt.line} exceeded "
+                    f"{_MAX_LOOP_ITERATIONS} iterations (infinite loop?)")
+        frame = self.frames[-1]
+        return mask & ~frame.return_mask
+
+    # -- stores --------------------------------------------------------------------------
+
+    def _store_scalar(self, storage: np.ndarray, value,
+                      mask: np.ndarray) -> None:
+        value = self._broadcast(value)
+        storage[mask] = to_dtype(value, storage.dtype)[mask]
+
+    def _exec_store(self, stmt: I.Store, mask: np.ndarray) -> None:
+        frame = self.frames[-1]
+        target = stmt.target
+        value = self._eval(stmt.value, mask)
+        if target.index is None:
+            storage = frame.env[target.name]
+            if not isinstance(storage, np.ndarray):
+                # scalar parameter materialised lazily upon first write
+                storage = np.full(self.n, storage)
+                frame.env[target.name] = storage
+            self._store_scalar(storage, value, mask)
+            return
+        mem: _Mem = frame.env[target.name]
+        idx = self._broadcast(self._eval(target.index, mask)).astype(
+            np.int64, copy=False)
+        self._check_bounds(idx, mem, mask, stmt.line)
+        safe = np.clip(idx, 0, mem.size - 1)
+        valm = to_dtype(self._broadcast(value), mem.array.dtype)
+        active = int(np.count_nonzero(mask))
+        if mem.kind == "buffer":
+            mem.array[safe[mask]] = valm[mask]
+            itemsize = mem.array.dtype.itemsize
+            self.counters.global_stores += active
+            self.counters.global_store_bytes += active * itemsize
+            self.counters.global_store_transactions += count_transactions(
+                safe[mask] * itemsize, self.warp_ids[mask],
+                self.spec.segment_bytes)
+        elif mem.kind == "local":
+            mem.array[self.group_flat[mask], safe[mask]] = valm[mask]
+            self.counters.local_accesses += active
+        else:  # private array
+            mem.array[self.lane[mask], safe[mask]] = valm[mask]
+            self.counters.alu_ops += active  # address arithmetic
+
+    def _exec_atomic(self, stmt: I.AtomicRMW, mask: np.ndarray) -> None:
+        frame = self.frames[-1]
+        target = stmt.target
+        mem: _Mem = frame.env[target.name]
+        idx = self._broadcast(self._eval(target.index, mask)).astype(
+            np.int64, copy=False)
+        self._check_bounds(idx, mem, mask, stmt.line)
+        safe = np.clip(idx, 0, mem.size - 1)
+        if stmt.value is not None:
+            val = to_dtype(self._broadcast(self._eval(stmt.value, mask)),
+                           mem.array.dtype)[mask]
+        else:
+            val = np.ones(int(np.count_nonzero(mask)),
+                          dtype=mem.array.dtype)
+        op = stmt.op
+        if op == "dec":
+            op, val = "sub", val
+        if mem.kind == "local":
+            index = (self.group_flat[mask], safe[mask])
+            self.counters.local_accesses += 2 * len(val)
+        else:
+            index = safe[mask]
+            itemsize = mem.array.dtype.itemsize
+            n = len(val)
+            self.counters.global_loads += n
+            self.counters.global_stores += n
+            self.counters.global_load_bytes += n * itemsize
+            self.counters.global_store_bytes += n * itemsize
+            tx = count_transactions(safe[mask] * itemsize,
+                                    self.warp_ids[mask],
+                                    self.spec.segment_bytes)
+            self.counters.global_load_transactions += tx
+            self.counters.global_store_transactions += tx
+        if op in ("add", "inc"):
+            np.add.at(mem.array, index, val)
+        elif op == "sub":
+            np.subtract.at(mem.array, index, val)
+        elif op == "min":
+            np.minimum.at(mem.array, index, val)
+        elif op == "max":
+            np.maximum.at(mem.array, index, val)
+        else:  # pragma: no cover
+            raise KernelLaunchError(f"unknown atomic op {op!r}")
+
+    def _check_bounds(self, idx: np.ndarray, mem: _Mem,
+                      mask: np.ndarray, line: int) -> None:
+        bad = mask & ((idx < 0) | (idx >= mem.size))
+        if bad.any():
+            lane = int(np.argmax(bad))
+            raise KernelLaunchError(
+                f"work-item {lane} accessed {mem.name}[{int(idx[lane])}] "
+                f"out of bounds (size {mem.size}) at line {line}")
+
+    # -- expression evaluation ----------------------------------------------------------------
+
+    def _broadcast(self, value):
+        arr = np.asarray(value)
+        if arr.ndim == 0:
+            return np.broadcast_to(arr, (self.n,))
+        return arr
+
+    def _count_alu(self, cost: float, mask: np.ndarray, type_) -> None:
+        active = int(np.count_nonzero(mask))
+        if isinstance(type_, ScalarType) and type_ is DOUBLE:
+            self.counters.fp64_ops += cost * active
+        else:
+            self.counters.alu_ops += cost * active
+
+    def _eval(self, expr: I.Expr, mask: np.ndarray):
+        frame = self.frames[-1]
+        if isinstance(expr, I.Const):
+            return expr.type.np_dtype.type(expr.value)
+        if isinstance(expr, I.Var):
+            value = frame.env[expr.name]
+            if isinstance(value, _Mem):
+                return value  # bare array name (only legal as call arg)
+            return value
+        if isinstance(expr, I.Load):
+            return self._eval_load(expr, mask)
+        if isinstance(expr, I.Convert):
+            value = self._eval(expr.operand, mask)
+            self._count_alu(1.0, mask, expr.type)
+            return to_dtype(value, expr.type.np_dtype)
+        if isinstance(expr, I.Unary):
+            return self._eval_unary(expr, mask)
+        if isinstance(expr, I.Binary):
+            return self._eval_binary(expr, mask)
+        if isinstance(expr, I.Select):
+            cond = truth(self._broadcast(self._eval(expr.cond, mask)))
+            a = self._broadcast(self._eval(expr.then, mask))
+            b = self._broadcast(self._eval(expr.otherwise, mask))
+            self._count_alu(1.0, mask, expr.type)
+            return np.where(cond, a, b).astype(expr.type.np_dtype,
+                                               copy=False)
+        if isinstance(expr, I.CallBuiltin):
+            return self._eval_builtin(expr, mask)
+        if isinstance(expr, I.CallFunction):
+            return self._eval_call(expr, mask)
+        raise KernelLaunchError(
+            f"vector engine cannot evaluate {type(expr).__name__}")
+
+    def _eval_load(self, expr: I.Load, mask: np.ndarray):
+        frame = self.frames[-1]
+        mem: _Mem = frame.env[expr.base]
+        idx = self._broadcast(self._eval(expr.index, mask)).astype(
+            np.int64, copy=False)
+        self._check_bounds(idx, mem, mask, expr.line)
+        safe = np.clip(idx, 0, mem.size - 1)
+        active = int(np.count_nonzero(mask))
+        if mem.kind == "buffer":
+            itemsize = mem.array.dtype.itemsize
+            self.counters.global_loads += active
+            self.counters.global_load_bytes += active * itemsize
+            self.counters.global_load_transactions += count_transactions(
+                safe[mask] * itemsize, self.warp_ids[mask],
+                self.spec.segment_bytes)
+            return mem.array[safe]
+        if mem.kind == "local":
+            self.counters.local_accesses += active
+            return mem.array[self.group_flat, safe]
+        self.counters.alu_ops += active
+        return mem.array[self.lane, safe]
+
+    def _eval_unary(self, expr: I.Unary, mask: np.ndarray):
+        operand = self._eval(expr.operand, mask)
+        self._count_alu(1.0, mask, expr.type)
+        if expr.op == "-":
+            return (-operand).astype(expr.type.np_dtype, copy=False)
+        if expr.op == "~":
+            return (~operand).astype(expr.type.np_dtype, copy=False)
+        if expr.op == "!":
+            return np.logical_not(truth(operand)).astype(np.int32)
+        raise KernelLaunchError(f"unknown unary {expr.op!r}")
+
+    def _eval_binary(self, expr: I.Binary, mask: np.ndarray):
+        lhs = self._eval(expr.lhs, mask)
+        rhs = self._eval(expr.rhs, mask)
+        op = expr.op
+        self._count_alu(_OP_COST.get(op, 1.0), mask, expr.type)
+        dtype = expr.type.np_dtype if isinstance(expr.type,
+                                                 ScalarType) else None
+        if op == "+":
+            result = lhs + rhs
+        elif op == "-":
+            result = lhs - rhs
+        elif op == "*":
+            result = lhs * rhs
+        elif op == "/":
+            result = c_div(lhs, rhs, expr.type.is_float)
+        elif op == "%":
+            result = c_imod(lhs, rhs)
+        elif op == "<<":
+            result = c_shl(lhs, rhs)
+        elif op == ">>":
+            result = c_shr(lhs, rhs)
+        elif op == "&":
+            result = lhs & rhs
+        elif op == "|":
+            result = lhs | rhs
+        elif op == "^":
+            result = lhs ^ rhs
+        elif op == "==":
+            return (lhs == rhs).astype(np.int32)
+        elif op == "!=":
+            return (lhs != rhs).astype(np.int32)
+        elif op == "<":
+            return (lhs < rhs).astype(np.int32)
+        elif op == ">":
+            return (lhs > rhs).astype(np.int32)
+        elif op == "<=":
+            return (lhs <= rhs).astype(np.int32)
+        elif op == ">=":
+            return (lhs >= rhs).astype(np.int32)
+        elif op == "&&":
+            return (truth(lhs) & truth(rhs)).astype(np.int32)
+        elif op == "||":
+            return (truth(lhs) | truth(rhs)).astype(np.int32)
+        else:
+            raise KernelLaunchError(f"unknown binary {op!r}")
+        if dtype is not None:
+            result = to_dtype(result, dtype)
+        return result
+
+    def _eval_builtin(self, expr: I.CallBuiltin, mask: np.ndarray):
+        name = expr.name
+        if name.startswith("get_"):
+            return self._workitem_query(name, expr.args)
+        b = BUILTINS[name]
+        args = [self._eval(a, mask) for a in expr.args]
+        self._count_alu(b.cost, mask, expr.type)
+        result = b.impl(*args)
+        return to_dtype(result, expr.type.np_dtype)
+
+    def _workitem_query(self, name: str, args: list):
+        dim = int(args[0].value) if args else 0
+        if name == "get_work_dim":
+            return np.int32(self.nd.dim)
+        if name == "get_global_offset":
+            return np.int64(0)
+        if name == "get_global_id":
+            return self.ids[("idx", "idy", "idz")[dim]]
+        if name == "get_local_id":
+            return self.ids[("lidx", "lidy", "lidz")[dim]]
+        if name == "get_group_id":
+            return self.ids[("gidx", "gidy", "gidz")[dim]]
+        return np.int64(self.nd.size_of(name, dim))
+
+    def _eval_call(self, expr: I.CallFunction, mask: np.ndarray):
+        func = self.program.functions[expr.name]
+        ret_dtype = (None if func.return_type.is_void
+                     else func.return_type.np_dtype)
+        frame = _Frame(self.n, ret_dtype)
+        caller = self.frames[-1]
+        for param, arg in zip(func.params, expr.args):
+            if isinstance(param.type, PointerType):
+                # sema guarantees this is a Var naming a memory object
+                frame.env[param.name] = caller.env[arg.name]
+            else:
+                value = self._broadcast(self._eval(arg, mask))
+                frame.env[param.name] = to_dtype(
+                    value, param.type.np_dtype).copy()
+        self.frames.append(frame)
+        self._run_block(func.body, mask.copy())
+        self.frames.pop()
+        if ret_dtype is None:
+            return np.int32(0)
+        return frame.ret_value

@@ -1,0 +1,58 @@
+"""Events with (simulated-time) profiling information."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ProfilingInfoNotAvailable
+from .api import command_type
+from .costmodel import CostCounters, TimeBreakdown
+
+
+@dataclass
+class Event:
+    """Returned by every enqueue; carries simulated profiling info.
+
+    Times are in nanoseconds on the device's simulated timeline, mirroring
+    ``clGetEventProfilingInfo``.  Kernel events additionally expose the
+    dynamic :class:`CostCounters` and the :class:`TimeBreakdown` the cost
+    model produced — introspection a real driver does not give you.
+    """
+
+    command: command_type
+    queued_ns: int = 0
+    submit_ns: int = 0
+    start_ns: int = 0
+    end_ns: int = 0
+    counters: CostCounters | None = None
+    breakdown: TimeBreakdown | None = None
+    _profiling_enabled: bool = field(default=True, repr=False)
+
+    def _check(self) -> None:
+        if not self._profiling_enabled:
+            raise ProfilingInfoNotAvailable(
+                "queue was created without profiling=True")
+
+    @property
+    def profile_start(self) -> int:
+        self._check()
+        return self.start_ns
+
+    @property
+    def profile_end(self) -> int:
+        self._check()
+        return self.end_ns
+
+    @property
+    def duration_ns(self) -> int:
+        self._check()
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration(self) -> float:
+        """Simulated duration in seconds."""
+        return self.duration_ns * 1e-9
+
+    def wait(self) -> "Event":
+        """Commands execute eagerly in SimCL; wait() is a no-op."""
+        return self

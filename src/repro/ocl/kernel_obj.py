@@ -1,0 +1,82 @@
+"""Kernel objects: argument binding ahead of enqueue."""
+
+from __future__ import annotations
+
+import numbers
+
+import numpy as np
+
+from ..clc.types import PointerType, ScalarType
+from ..errors import InvalidKernelArgs, InvalidValue
+from .buffer import Buffer, LocalMemory
+from .engines.base import BufferBinding, LocalBinding, ScalarBinding
+
+
+class Kernel:
+    """Mirror of ``cl_kernel``: a kernel entry point plus bound arguments."""
+
+    def __init__(self, program, name: str) -> None:
+        self.program = program
+        self.name = name
+        self.function = program.ir.functions[name]
+        self._args: list = [None] * len(self.function.params)
+
+    @property
+    def num_args(self) -> int:
+        return len(self.function.params)
+
+    def set_arg(self, index: int, value) -> None:
+        """Bind one argument (``clSetKernelArg``)."""
+        if not 0 <= index < self.num_args:
+            raise InvalidValue(
+                f"kernel {self.name!r} has {self.num_args} arguments; "
+                f"index {index} is out of range")
+        param = self.function.params[index]
+        ptype = param.type
+        if isinstance(ptype, ScalarType):
+            if isinstance(value, (Buffer, LocalMemory)):
+                raise InvalidKernelArgs(
+                    f"argument {param.name!r} expects a scalar")
+            if not isinstance(value, (numbers.Number, np.generic)):
+                raise InvalidKernelArgs(
+                    f"argument {param.name!r}: cannot pass "
+                    f"{type(value).__name__} as a scalar")
+            self._args[index] = ScalarBinding(value, ptype)
+        elif isinstance(ptype, PointerType):
+            if ptype.address_space == "local":
+                if not isinstance(value, LocalMemory):
+                    raise InvalidKernelArgs(
+                        f"argument {param.name!r} is a __local pointer; "
+                        "pass LocalMemory(nbytes)")
+                self._args[index] = LocalBinding(value.nbytes)
+            else:
+                if not isinstance(value, Buffer):
+                    raise InvalidKernelArgs(
+                        f"argument {param.name!r} expects a Buffer")
+                elem = ptype.pointee.np_dtype
+                self._args[index] = BufferBinding(
+                    value.view(elem), ptype.address_space)
+        else:  # pragma: no cover - signatures exclude other types
+            raise InvalidKernelArgs(f"unsupported parameter type {ptype}")
+
+    def set_args(self, *values) -> "Kernel":
+        """Bind all arguments at once; returns self for chaining."""
+        if len(values) != self.num_args:
+            raise InvalidKernelArgs(
+                f"kernel {self.name!r} expects {self.num_args} "
+                f"argument(s), got {len(values)}")
+        for i, v in enumerate(values):
+            self.set_arg(i, v)
+        return self
+
+    def bound_args(self) -> list:
+        missing = [p.name for p, a in zip(self.function.params, self._args)
+                   if a is None]
+        if missing:
+            raise InvalidKernelArgs(
+                f"kernel {self.name!r} has unbound argument(s): "
+                + ", ".join(missing))
+        return list(self._args)
+
+    def __repr__(self) -> str:
+        return f"<Kernel {self.name!r} ({self.num_args} args)>"

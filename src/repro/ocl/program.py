@@ -1,0 +1,77 @@
+"""Programs: OpenCL C source compiled for the context's devices."""
+
+from __future__ import annotations
+
+from ..clc import compile_source
+from ..clc.ir import ProgramIR
+from ..errors import BuildProgramFailure, CompileError, InvalidValue
+from .context import Context
+from .kernel_obj import Kernel
+
+
+class Program:
+    """Mirror of ``clCreateProgramWithSource`` + ``clBuildProgram``.
+
+    ``build()`` runs the :mod:`repro.clc` compiler and then performs the
+    per-device checks a vendor compiler would do (e.g. rejecting kernels
+    that require ``cl_khr_fp64`` on a device without double support, which
+    is exactly why the paper's EP benchmark cannot run on the Quadro FX
+    380).  Diagnostics end up in :attr:`build_log`, like a real build log.
+    """
+
+    def __init__(self, context: Context, source: str) -> None:
+        if not isinstance(context, Context):
+            raise InvalidValue("first argument must be a Context")
+        self.context = context
+        self.source = source
+        self.ir: ProgramIR | None = None
+        self.build_log = ""
+        self._built = False
+
+    def build(self, options: str = "", devices=None) -> "Program":
+        devices = list(devices) if devices is not None \
+            else list(self.context.devices)
+        try:
+            self.ir = compile_source(self.source, options)
+        except CompileError as exc:
+            self.build_log = str(exc)
+            raise BuildProgramFailure(str(exc), build_log=self.build_log) \
+                from exc
+        issues = []
+        for dev in devices:
+            for fn in self.ir.kernels.values():
+                if fn.uses_fp64 and not dev.supports_fp64:
+                    issues.append(
+                        f"{dev.name}: kernel {fn.name!r} uses double "
+                        "precision but the device does not support "
+                        "cl_khr_fp64")
+        if issues:
+            self.build_log = "\n".join(issues)
+            raise BuildProgramFailure(issues[0], build_log=self.build_log)
+        self.build_log = "build succeeded"
+        self._built = True
+        return self
+
+    @property
+    def kernel_names(self) -> list[str]:
+        self._require_built()
+        return sorted(self.ir.kernels)
+
+    def create_kernel(self, name: str) -> Kernel:
+        """Mirror of ``clCreateKernel``."""
+        self._require_built()
+        if name not in self.ir.kernels:
+            raise InvalidValue(f"no kernel {name!r} in program "
+                               f"(have: {', '.join(self.kernel_names)})")
+        return Kernel(self, name)
+
+    def all_kernels(self) -> dict[str, Kernel]:
+        return {name: self.create_kernel(name) for name in self.kernel_names}
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise InvalidValue("program is not built; call build() first")
+
+    def __repr__(self) -> str:
+        state = "built" if self._built else "unbuilt"
+        return f"<Program {state}, {len(self.source)} chars>"

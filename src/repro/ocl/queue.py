@@ -1,0 +1,101 @@
+"""In-order command queues with a simulated device timeline.
+
+Commands execute **eagerly** (results are immediately visible to the
+host — the simulator has no real asynchrony to model) but their *cost* is
+accounted on a per-device simulated clock: each enqueue advances the
+clock by the modelled duration and stamps the returned event with
+queued/submit/start/end times, so profiling-based measurement code works
+exactly as it would against a real driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidValue
+from .api import command_type
+from .buffer import Buffer
+from .context import Context
+from .costmodel import kernel_time, transfer_time
+from .device import Device
+from .event import Event
+from .kernel_obj import Kernel
+
+
+class CommandQueue:
+    """Mirror of ``cl_command_queue`` (in-order, optional profiling)."""
+
+    def __init__(self, context: Context, device: Device | None = None,
+                 profiling: bool = True) -> None:
+        if not isinstance(context, Context):
+            raise InvalidValue("first argument must be a Context")
+        if device is None:
+            device = context.devices[0]
+        if device not in context.devices:
+            raise InvalidValue(f"{device.name} is not part of the context")
+        self.context = context
+        self.device = device
+        self.profiling = profiling
+        #: simulated device clock, seconds
+        self.clock = 0.0
+
+    # -- internal ----------------------------------------------------------------
+
+    def _stamp(self, command: command_type, duration: float,
+               counters=None, breakdown=None) -> Event:
+        start = self.clock
+        self.clock = start + duration
+        return Event(command=command,
+                     queued_ns=int(start * 1e9),
+                     submit_ns=int(start * 1e9),
+                     start_ns=int(start * 1e9),
+                     end_ns=int(self.clock * 1e9),
+                     counters=counters, breakdown=breakdown,
+                     _profiling_enabled=self.profiling)
+
+    # -- transfers ------------------------------------------------------------------
+
+    def enqueue_write_buffer(self, buffer: Buffer,
+                             hostbuf: np.ndarray) -> Event:
+        """Copy host memory into a device buffer."""
+        buffer.write_from(np.asarray(hostbuf))
+        duration = transfer_time(np.asarray(hostbuf).nbytes,
+                                 self.device.spec)
+        return self._stamp(command_type.WRITE_BUFFER, duration)
+
+    def enqueue_read_buffer(self, buffer: Buffer,
+                            hostbuf: np.ndarray) -> Event:
+        """Copy a device buffer back into host memory."""
+        buffer.read_into(hostbuf)
+        duration = transfer_time(hostbuf.nbytes, self.device.spec)
+        return self._stamp(command_type.READ_BUFFER, duration)
+
+    def enqueue_copy_buffer(self, src: Buffer, dst: Buffer,
+                            nbytes: int | None = None) -> Event:
+        """Device-to-device copy within the same (simulated) memory."""
+        nbytes = min(src.size, dst.size) if nbytes is None else nbytes
+        dst._data[:nbytes] = src._data[:nbytes]
+        duration = nbytes / (self.device.spec.mem_bandwidth_gbs * 1e9)
+        return self._stamp(command_type.COPY_BUFFER, duration)
+
+    # -- kernels ----------------------------------------------------------------------
+
+    def enqueue_nd_range_kernel(self, kernel: Kernel, global_size,
+                                local_size=None) -> Event:
+        """Execute a kernel over an NDRange and account its model time."""
+        args = kernel.bound_args()
+        engine = self.device.make_engine(kernel.program.ir)
+        counters = engine.run(kernel.name, args, global_size, local_size)
+        breakdown = kernel_time(counters, self.device.spec)
+        return self._stamp(command_type.NDRANGE_KERNEL, breakdown.total,
+                           counters=counters, breakdown=breakdown)
+
+    def finish(self) -> None:
+        """All SimCL commands are eager, so finish() is a no-op."""
+
+    def flush(self) -> None:
+        """No-op, as for :meth:`finish`."""
+
+    def __repr__(self) -> str:
+        return (f"<CommandQueue on {self.device.name!r} "
+                f"clock={self.clock:.6f}s>")

@@ -1,0 +1,11 @@
+"""Programmability metrics (paper §V-A).
+
+The paper measures programmability with Wheeler's *sloccount*: "the
+number of source lines of code excluding comments and empty lines
+(SLOC)".  :mod:`repro.productivity.sloc` implements the same physical-
+SLOC definition for the C/OpenCL and Python sources in this repository.
+"""
+
+from .sloc import count_sloc, count_sloc_c, count_sloc_python, sloc_report
+
+__all__ = ["count_sloc", "count_sloc_c", "count_sloc_python", "sloc_report"]

@@ -1,0 +1,176 @@
+"""Every paper benchmark: both variants verify, and agree with each other."""
+
+import numpy as np
+import pytest
+
+from repro.benchsuite import ep, floyd, reduction, spmv, transpose
+from repro.hpl import reset_runtime
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+class TestEP:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return ep.ep_problem("S", shift=10)   # 2^14 pairs
+
+    def test_opencl_verifies(self, problem):
+        assert ep.verify(ep.run_opencl(problem), problem)
+
+    def test_hpl_verifies(self, problem):
+        reset_runtime()
+        assert ep.verify(ep.run_hpl(problem), problem)
+
+    def test_variants_agree_bitwise(self, problem):
+        reset_runtime()
+        a = ep.run_opencl(problem)
+        b = ep.run_hpl(problem)
+        assert a.output[0] == b.output[0]
+        assert a.output[1] == b.output[1]
+        assert np.array_equal(a.output[2], b.output[2])
+
+    def test_speedup_band(self, problem):
+        """EP's GPU speedup must sit near the paper's 257x (±40%)."""
+        run = ep.run_opencl(problem)
+        speedup = ep.serial_seconds(run) / run.kernel_seconds
+        assert 150 < speedup < 400
+
+    def test_scale_invariance_of_extrapolation(self):
+        """Two different scale factors must extrapolate to (almost) the
+        same paper-size time — the property DESIGN.md asserts."""
+        t = []
+        for shift in (9, 10):
+            run = ep.run_opencl(ep.ep_problem("S", shift=shift))
+            t.append(run.kernel_seconds)
+        # the per-item seed-jump is a fixed cost that amortises with nk,
+        # so a ~10% drift between scales is expected; beyond that the
+        # extrapolation would be broken
+        assert t[0] == pytest.approx(t[1], rel=0.15)
+
+    def test_requires_fp64_device(self):
+        problem = ep.ep_problem("S", shift=10)
+        with pytest.raises(RuntimeError, match="fp64|double"):
+            ep.run_opencl(problem, device_name="Quadro")
+
+
+class TestFloyd:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return floyd.floyd_problem(n_paper=1024, n_run=48)
+
+    def test_opencl_verifies(self, problem):
+        assert floyd.verify(floyd.run_opencl(problem), problem)
+
+    def test_hpl_verifies(self, problem):
+        reset_runtime()
+        assert floyd.verify(floyd.run_hpl(problem), problem)
+
+    def test_variants_agree(self, problem):
+        reset_runtime()
+        a = floyd.run_opencl(problem)
+        b = floyd.run_hpl(problem)
+        assert np.array_equal(a.output, b.output)
+
+    def test_launch_count_scales(self, problem):
+        run = floyd.run_opencl(problem)
+        assert run.params["launch_factor"] == 1024 / 48
+
+
+class TestTranspose:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return transpose.transpose_problem(n_run=64)
+
+    def test_opencl_verifies(self, problem):
+        assert transpose.verify(transpose.run_opencl(problem), problem)
+
+    def test_hpl_verifies(self, problem):
+        reset_runtime()
+        assert transpose.verify(transpose.run_hpl(problem), problem)
+
+    def test_variants_agree(self, problem):
+        reset_runtime()
+        a = transpose.run_opencl(problem)
+        b = transpose.run_hpl(problem)
+        assert np.array_equal(a.output, b.output)
+
+    def test_non_block_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            transpose.transpose_problem(n_run=60)
+
+    def test_memory_bound_on_gpu(self, problem):
+        run = transpose.run_opencl(problem)
+        from repro.ocl import TESLA_C2050, kernel_time
+        t = kernel_time(run.counters, TESLA_C2050)
+        assert t.memory > t.compute
+
+
+class TestSpmv:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return spmv.spmv_problem(n_run=256)
+
+    def test_opencl_verifies(self, problem):
+        assert spmv.verify(spmv.run_opencl(problem), problem)
+
+    def test_hpl_verifies(self, problem):
+        reset_runtime()
+        assert spmv.verify(spmv.run_hpl(problem), problem)
+
+    def test_variants_agree(self, problem):
+        reset_runtime()
+        a = spmv.run_opencl(problem)
+        b = spmv.run_hpl(problem)
+        assert np.allclose(a.output, b.output, rtol=1e-6)
+
+    def test_per_row_nnz_pinned_to_paper(self, problem):
+        nnz_per_row = problem.params["nnz"] / problem.params["n_run"]
+        assert nnz_per_row == round(0.01 * spmv.PAPER_SIZE)
+
+    def test_spmv_speedup_band(self, problem):
+        """spmv must land near the paper's 5.4x (the low end)."""
+        run = spmv.run_opencl(problem)
+        speedup = spmv.serial_seconds(run) / run.kernel_seconds
+        assert 2 < speedup < 15
+
+
+class TestReduction:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        return reduction.reduction_problem(n_run=1 << 14)
+
+    def test_opencl_verifies(self, problem):
+        assert reduction.verify(reduction.run_opencl(problem), problem)
+
+    def test_hpl_verifies(self, problem):
+        reset_runtime()
+        assert reduction.verify(reduction.run_hpl(problem), problem)
+
+    def test_variants_agree(self, problem):
+        reset_runtime()
+        a = reduction.run_opencl(problem)
+        b = reduction.run_hpl(problem)
+        assert np.isclose(a.output, b.output, rtol=1e-5)
+
+
+class TestCrossBenchmarkShape:
+    def test_speedup_ordering_matches_figure7(self):
+        """EP must dominate; spmv must be the smallest speedup —
+        the qualitative shape of Figure 7."""
+        reset_runtime()
+        ep_run = ep.run_opencl(ep.ep_problem("S", shift=10))
+        ep_speedup = ep.serial_seconds(ep_run) / ep_run.kernel_seconds
+
+        sp_prob = spmv.spmv_problem(n_run=256)
+        sp_run = spmv.run_opencl(sp_prob)
+        sp_speedup = spmv.serial_seconds(sp_run) / sp_run.kernel_seconds
+
+        tr_prob = transpose.transpose_problem(n_run=64)
+        tr_run = transpose.run_opencl(tr_prob)
+        tr_speedup = transpose.serial_seconds(tr_run) \
+            / tr_run.kernel_seconds
+
+        assert ep_speedup > tr_speedup > sp_speedup

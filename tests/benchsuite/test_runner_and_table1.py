@@ -1,0 +1,91 @@
+"""Experiment runner smoke tests and Table I standalone programs."""
+
+import runpy
+import sys
+
+import pytest
+
+from repro.benchsuite import ep, runner
+from repro.benchsuite.table1 import TABLE1_PAIRS, source_path
+from repro.hpl import reset_runtime
+from repro.benchsuite import report
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+class TestTable1:
+    def test_rows_cover_all_benchmarks(self):
+        rows = runner.run_table1()
+        assert {r["benchmark"] for r in rows} == set(TABLE1_PAIRS)
+
+    def test_hpl_is_always_smaller(self):
+        for row in runner.run_table1():
+            assert row["hpl_sloc"] < row["opencl_sloc"], row
+
+    def test_substantial_reduction(self):
+        """Every benchmark must shed at least a third of its SLOC."""
+        for row in runner.run_table1():
+            assert row["reduction_pct"] > 33.0, row
+
+    def test_formatting(self):
+        text = report.format_table1(runner.run_table1())
+        assert "Table I" in text and "EP" in text
+
+    @pytest.mark.parametrize("which", sorted(TABLE1_PAIRS))
+    def test_standalone_programs_run_and_agree(self, which, capsys):
+        """Each OpenCL/HPL program pair runs and prints identical
+        result lines (bar the simulated-timing line)."""
+        outputs = []
+        for filename in TABLE1_PAIRS[which]:
+            reset_runtime()
+            mod = runpy.run_path(source_path(filename))
+            rc = mod["main"]()
+            assert rc == 0
+            captured = capsys.readouterr().out
+            result_lines = [ln for ln in captured.strip().split("\n")
+                            if "kernel time" not in ln]
+            outputs.append(result_lines)
+        assert outputs[0] == outputs[1]
+
+
+class TestWarmCache:
+    def test_second_invocation_cheaper(self):
+        row = runner.run_warm_cache("S")
+        assert row["warm_slowdown_pct"] < row["cold_slowdown_pct"]
+        assert row["warm_overhead_seconds"] < \
+            row["cold_overhead_seconds"]
+
+    def test_report_formatting(self):
+        row = runner.run_warm_cache("S")
+        text = report.format_warm_cache(row)
+        assert "first call" in text and "second call" in text
+
+
+class TestFigureRunners:
+    def test_fig6_rows(self):
+        rows = runner.run_fig6(classes=("S",))
+        row = rows[0]
+        assert row["opencl_speedup"] > 1
+        assert row["hpl_speedup"] > 1
+        assert row["hpl_speedup"] <= row["opencl_speedup"] * 1.05
+
+    def test_fig8_structure(self):
+        problems = {"Spmv": runner.spmv.spmv_problem(n_run=256)}
+        rows = runner.run_fig8(problems=problems)
+        assert rows[0]["hpl_overhead_seconds"] > 0
+        text = report.format_fig8(rows)
+        assert "Slowdown" in text
+
+    def test_fig8_transfers_dilute_overhead(self):
+        problems = {
+            "Matrix transpose":
+                runner.transpose.transpose_problem(n_run=64)}
+        dry = runner.run_fig8(problems=problems)
+        reset_runtime()
+        wet = runner.run_fig8(include_transfers=True, problems=problems)
+        # §V-B: counting transfers shrinks transpose's relative overhead
+        assert abs(wet[0]["slowdown_pct"]) <= \
+            abs(dry[0]["slowdown_pct"]) + 0.5

@@ -1,0 +1,205 @@
+"""Parser tests."""
+
+import pytest
+
+from repro.clc import ast_nodes as A
+from repro.clc.lexer import tokenize
+from repro.clc.parser import parse
+from repro.errors import ParseError
+
+
+def parse_src(src):
+    return parse(tokenize(src))
+
+
+def parse_kernel_body(body):
+    src = f"__kernel void k(__global int* a) {{ {body} }}"
+    unit = parse_src(src)
+    return unit.functions[0].body
+
+
+def first_expr(body):
+    stmt = parse_kernel_body(body)[0]
+    assert isinstance(stmt, A.ExprStmt)
+    return stmt.expr
+
+
+class TestFunctions:
+    def test_kernel_flag(self):
+        unit = parse_src("__kernel void k() {}")
+        assert unit.functions[0].is_kernel
+
+    def test_plain_helper(self):
+        unit = parse_src("float f(float x) { return x; }")
+        fn = unit.functions[0]
+        assert not fn.is_kernel and fn.return_type.base == "float"
+
+    def test_kernel_keyword_without_underscores(self):
+        unit = parse_src("kernel void k() {}")
+        assert unit.functions[0].is_kernel
+
+    def test_void_param_list(self):
+        unit = parse_src("void f(void) {}")
+        assert unit.functions[0].params == []
+
+    def test_param_address_spaces(self):
+        unit = parse_src(
+            "__kernel void k(__global float* a, __local int* b,"
+            " __constant float* c, int n) {}")
+        spaces = [p.type_spec.address_space
+                  for p in unit.functions[0].params]
+        assert spaces == ["global", "local", "constant", "private"]
+
+    def test_pointer_depth(self):
+        unit = parse_src("void f(__global float* p) {}")
+        assert unit.functions[0].params[0].type_spec.pointer == 1
+
+    def test_multiple_functions(self):
+        unit = parse_src("void a() {} void b() {} __kernel void k() {}")
+        assert [f.name for f in unit.functions] == ["a", "b", "k"]
+
+    def test_unsigned_int_spelling(self):
+        unit = parse_src("void f(unsigned int x) {}")
+        assert unit.functions[0].params[0].type_spec.base == "uint"
+
+    def test_missing_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse_src("void f() { int x = 1;")
+
+
+class TestStatements:
+    def test_declaration_with_init(self):
+        stmt = parse_kernel_body("int x = 3;")[0]
+        assert isinstance(stmt, A.DeclStmt)
+        assert stmt.decls[0].name == "x"
+        assert isinstance(stmt.decls[0].init, A.IntLiteral)
+
+    def test_multi_declarator(self):
+        stmt = parse_kernel_body("int x = 1, y = 2;")[0]
+        assert [d.name for d in stmt.decls] == ["x", "y"]
+
+    def test_array_declaration(self):
+        stmt = parse_kernel_body("__local float s[16];")[0]
+        decl = stmt.decls[0]
+        assert decl.array_size is not None
+        assert decl.type_spec.address_space == "local"
+
+    def test_if_else(self):
+        stmt = parse_kernel_body("if (a[0]) a[1] = 1; else a[2] = 2;")[0]
+        assert isinstance(stmt, A.IfStmt)
+        assert len(stmt.then) == 1 and len(stmt.otherwise) == 1
+
+    def test_for_loop_parts(self):
+        stmt = parse_kernel_body(
+            "for (int i = 0; i < 10; i++) a[i] = i;")[0]
+        assert isinstance(stmt, A.ForStmt)
+        assert stmt.cond is not None and len(stmt.update) == 1
+
+    def test_for_with_empty_clauses(self):
+        stmt = parse_kernel_body("for (;;) break;")[0]
+        assert stmt.init == [] and stmt.cond is None and stmt.update == []
+
+    def test_while(self):
+        stmt = parse_kernel_body("while (a[0] < 5) a[0] += 1;")[0]
+        assert isinstance(stmt, A.WhileStmt)
+
+    def test_do_while(self):
+        stmt = parse_kernel_body("do { a[0] += 1; } while (a[0] < 5);")[0]
+        assert isinstance(stmt, A.DoWhileStmt)
+
+    def test_break_continue_return(self):
+        body = parse_kernel_body(
+            "while (1) { if (a[0]) break; continue; } return;")
+        assert isinstance(body[-1], A.ReturnStmt)
+
+    def test_nested_blocks(self):
+        stmt = parse_kernel_body("{ { a[0] = 1; } }")[0]
+        assert isinstance(stmt, A.BlockStmt)
+
+    def test_switch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel_body("switch (x) {}")
+
+    def test_struct_rejected(self):
+        with pytest.raises(ParseError):
+            parse_src("struct S { int x; };")
+
+    def test_goto_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel_body("goto done;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = first_expr("f(1 + 2 * 3);")
+        arg = expr.args[0]
+        assert arg.op == "+" and arg.rhs.op == "*"
+
+    def test_parenthesised_grouping(self):
+        expr = first_expr("f((1 + 2) * 3);")
+        assert expr.args[0].op == "*"
+
+    def test_comparison_precedence(self):
+        expr = first_expr("f(a[0] + 1 < b[0]);")
+        assert expr.args[0].op == "<"
+
+    def test_logical_precedence(self):
+        expr = first_expr("f(a[0] && b[0] || c[0]);")
+        assert expr.args[0].op == "||"
+
+    def test_ternary(self):
+        expr = first_expr("f(a[0] ? 1 : 2);")
+        assert isinstance(expr.args[0], A.TernaryOp)
+
+    def test_ternary_right_associative(self):
+        expr = first_expr("f(a[0] ? 1 : b[0] ? 2 : 3);")
+        assert isinstance(expr.args[0].otherwise, A.TernaryOp)
+
+    def test_cast(self):
+        expr = first_expr("f((float)a[0]);")
+        assert isinstance(expr.args[0], A.CastExpr)
+
+    def test_cast_vs_parenthesised_expr(self):
+        expr = first_expr("f((a) + 1);")
+        assert expr.args[0].op == "+"
+
+    def test_sizeof(self):
+        expr = first_expr("f(sizeof(int));")
+        assert isinstance(expr.args[0], A.SizeofExpr)
+
+    def test_unary_minus(self):
+        expr = first_expr("f(-a[0]);")
+        assert isinstance(expr.args[0], A.UnaryOp)
+
+    def test_chained_index(self):
+        stmt = parse_kernel_body("a[a[0]] = 1;")[0]
+        assert isinstance(stmt.expr.lhs.index, A.IndexExpr)
+
+    def test_call_with_no_args(self):
+        expr = first_expr("f(get_global_id(0));")
+        assert expr.args[0].name == "get_global_id"
+
+    def test_augmented_assignment(self):
+        stmt = parse_kernel_body("a[0] *= 2;")[0]
+        assert stmt.expr.op == "*="
+
+    def test_postfix_increment(self):
+        stmt = parse_kernel_body("a[0]++;")[0]
+        assert isinstance(stmt.expr, A.PostfixOp)
+
+    def test_address_of_allowed_syntactically(self):
+        expr = first_expr("f(&a[0]);")
+        assert isinstance(expr.args[0], A.UnaryOp)
+        assert expr.args[0].op == "&"
+
+    def test_deref_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel_body("f(*a);")
+
+    def test_member_access_rejected(self):
+        with pytest.raises(ParseError):
+            parse_kernel_body("f(a.x);")
+
+    def test_shift_expression(self):
+        expr = first_expr("f(1 << 4);")
+        assert expr.args[0].op == "<<"

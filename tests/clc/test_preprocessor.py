@@ -1,0 +1,158 @@
+"""Preprocessor tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clc.preprocessor import preprocess
+from repro.errors import PreprocessorError
+
+
+def squeeze(text):
+    """Collapse whitespace for content comparisons."""
+    return " ".join(text.split())
+
+
+class TestObjectMacros:
+    def test_simple_define(self):
+        out = preprocess("#define N 16\nint x = N;")
+        assert "16" in out and "N" not in squeeze(out).replace("16", "")
+
+    def test_define_is_erased_from_output(self):
+        out = preprocess("#define N 16\nN")
+        assert out.split("\n")[0] == ""
+
+    def test_line_count_preserved(self):
+        src = "#define A 1\n\nA\nA"
+        out = preprocess(src)
+        assert len(out.split("\n")) == len(src.split("\n"))
+
+    def test_recursive_expansion(self):
+        out = preprocess("#define A B\n#define B 7\nA")
+        assert squeeze(out) == "7"
+
+    def test_self_reference_does_not_loop(self):
+        out = preprocess("#define X X + 1\nX")
+        assert squeeze(out) == "X + 1"
+
+    def test_undef(self):
+        out = preprocess("#define N 5\n#undef N\nN")
+        assert squeeze(out) == "N"
+
+    def test_redefinition_takes_latest(self):
+        out = preprocess("#define N 1\n#define N 2\nN")
+        assert squeeze(out) == "2"
+
+    def test_no_expansion_inside_identifier(self):
+        out = preprocess("#define N 5\nint NN = N;")
+        assert "NN" in out and "55" not in out
+
+    def test_line_continuation(self):
+        out = preprocess("#define SUM 1 + \\\n2\nSUM")
+        assert squeeze(out) == "1 + 2"
+
+
+class TestFunctionMacros:
+    def test_basic_call(self):
+        out = preprocess("#define SQR(x) ((x) * (x))\nSQR(3)")
+        assert squeeze(out) == "((3) * (3))"
+
+    def test_two_parameters(self):
+        out = preprocess("#define ADD(a, b) (a + b)\nADD(1, 2)")
+        assert squeeze(out) == "(1 + 2)"
+
+    def test_nested_parens_in_argument(self):
+        out = preprocess("#define ID(x) x\nID(f(1, 2))")
+        assert squeeze(out) == "f(1, 2)"
+
+    def test_argument_expansion(self):
+        out = preprocess("#define N 4\n#define ID(x) x\nID(N)")
+        assert squeeze(out) == "4"
+
+    def test_name_without_call_left_alone(self):
+        out = preprocess("#define F(x) x\nint F = 3;")
+        assert "int F = 3" in out
+
+    def test_wrong_arity_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#define ADD(a, b) a+b\nADD(1)")
+
+    def test_zero_arg_macro(self):
+        out = preprocess("#define GET() 42\nGET()")
+        assert squeeze(out) == "42"
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define ON 1\n#ifdef ON\nyes\n#endif")
+        assert "yes" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef OFF\nno\n#endif")
+        assert "no" not in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef OFF\nyes\n#endif")
+        assert "yes" in out
+
+    def test_else_branch(self):
+        out = preprocess("#ifdef OFF\nno\n#else\nyes\n#endif")
+        assert "yes" in out and "no" not in out
+
+    def test_nested_conditionals(self):
+        src = ("#define A 1\n#ifdef A\n#ifdef B\nno\n#else\nyes\n#endif\n"
+               "#endif")
+        out = preprocess(src)
+        assert "yes" in out and "no" not in out
+
+    def test_unterminated_if_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#ifdef X\nfoo")
+
+    def test_stray_endif_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#endif")
+
+    def test_defines_inside_inactive_branch_ignored(self):
+        out = preprocess("#ifdef OFF\n#define N 5\n#endif\nN")
+        assert squeeze(out) == "N"
+
+
+class TestBuildOptions:
+    def test_dash_d_with_value(self):
+        out = preprocess("N", options="-DN=32")
+        assert squeeze(out) == "32"
+
+    def test_dash_d_without_value_defaults_to_1(self):
+        out = preprocess("#ifdef FLAG\nyes\n#endif", options="-D FLAG")
+        assert "yes" in out
+
+    def test_unknown_options_ignored(self):
+        out = preprocess("x", options="-cl-fast-relaxed-math")
+        assert squeeze(out) == "x"
+
+    def test_bad_macro_name_raises(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("x", options="-D1BAD=2")
+
+
+class TestDirectives:
+    def test_pragma_ignored(self):
+        out = preprocess("#pragma OPENCL EXTENSION cl_khr_fp64 : enable\nx")
+        assert squeeze(out) == "x"
+
+    def test_include_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess('#include "foo.h"')
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(PreprocessorError):
+            preprocess("#frobnicate")
+
+
+@given(st.text(alphabet="abcdefghij XY+-*/()0123456789\n", max_size=200))
+def test_no_directives_roundtrip(text):
+    """Directive-free, macro-free text passes through unchanged."""
+    if "#" in text:
+        return
+    assert preprocess(text) == text

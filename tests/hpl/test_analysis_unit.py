@@ -1,0 +1,124 @@
+"""Direct unit tests of the kernel access-analysis pass (§VI)."""
+
+import pytest
+
+import repro.hpl as hpl
+from repro.errors import CoherenceError
+from repro.hpl import (Array, Double, Float, Int, barrier, double_,
+                       endfor_, endif_, float_, for_, idx, if_, int_,
+                       lidx, LOCAL, Local)
+from repro.hpl.runtime import get_runtime
+
+
+def info_of(func, *args):
+    return get_runtime().get_captured(func, args).info
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+class TestAccessClassification:
+    def test_pure_reader(self):
+        def k(dst, src):
+            dst[idx] = src[idx]
+
+        info = info_of(k, Array(int_, 4), Array(int_, 4))
+        assert info.access == {"dst": "w", "src": "r"}
+
+    def test_read_write(self):
+        def k(a):
+            a[idx] = a[idx] + 1
+
+        info = info_of(k, Array(int_, 4))
+        assert info.access["a"] == "rw"
+
+    def test_augmented_assign_is_rw(self):
+        def k(a):
+            a[idx] += 1
+
+        assert info_of(k, Array(int_, 4)).access["a"] == "rw"
+
+    def test_index_expression_reads(self):
+        def k(dst, lut, src):
+            dst[idx] = src[lut[idx]]
+
+        info = info_of(k, Array(float_, 4), Array(int_, 4),
+                       Array(float_, 4))
+        assert info.access["lut"] == "r"
+
+    def test_untouched_param_defaults_to_read(self):
+        def k(a, unused):
+            a[idx] = 1
+
+        info = info_of(k, Array(int_, 4), Array(int_, 4))
+        assert info.access["unused"] == "r"
+
+    def test_reads_inside_control_flow_found(self):
+        def k(a, b):
+            i = Int()
+            if_(idx > 0)
+            for_(i, 0, 4)
+            a[idx] += b[i]
+            endfor_()
+            endif_()
+
+        info = info_of(k, Array(float_, 8), Array(float_, 8))
+        assert info.access == {"a": "rw", "b": "r"}
+
+    def test_write_to_constant_memory_rejected(self):
+        def k(lut):
+            lut[idx] = 1.0
+
+        with pytest.raises(CoherenceError, match="read-only"):
+            info_of(k, Array(float_, 4, mem=hpl.Constant))
+
+
+class TestDerivedFacts:
+    def test_double_detection_via_param(self):
+        def k(a):
+            a[idx] = a[idx] * 2
+
+        assert info_of(k, Array(double_, 4)).uses_double
+        assert not info_of(k, Array(float_, 4)).uses_double
+
+    def test_double_detection_via_scalar(self):
+        def k(a, s):
+            a[idx] = a[idx] + s
+
+        assert info_of(k, Array(float_, 4), Double(1.0)).uses_double
+
+    def test_barrier_and_local_flags(self):
+        def k(a):
+            s = Array(float_, 8, mem=Local)
+            s[lidx] = a[idx]
+            barrier(LOCAL)
+            a[idx] = s[lidx]
+
+        info = info_of(k, Array(float_, 8))
+        assert info.uses_barrier and info.uses_local_memory
+
+    def test_predefined_variable_tracking(self):
+        def k(a):
+            a[idx] = hpl.gidx + hpl.szx
+
+        used = info_of(k, Array(int_, 4)).predefined_used
+        assert {"idx", "gidx", "szx"} <= used
+
+    def test_hpl_and_clc_classifications_agree(self):
+        """The HPL-level analysis and the OpenCL compiler's analysis of
+        the generated source must reach identical conclusions."""
+        from repro.clc import compile_source
+
+        def k(out, inp, both):
+            out[idx] = inp[idx]
+            both[idx] = both[idx] + inp[idx]
+
+        cap = get_runtime().get_captured(
+            k, (Array(float_, 8), Array(float_, 8), Array(float_, 8)))
+        clc_params = {p.name: p for p in
+                      compile_source(cap.source).kernels["k"].params}
+        for name, mode in cap.info.access.items():
+            assert clc_params[name].is_read == ("r" in mode)
+            assert clc_params[name].is_written == ("w" in mode)

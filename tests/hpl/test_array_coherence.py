@@ -1,0 +1,186 @@
+"""Host Array semantics and host/device coherence (transfer minimisation).
+
+The paper (§V-B, §VI) credits HPL with analysing kernels to minimise
+data transfers; these tests pin the observable behaviour: what gets
+copied when, and that stale copies are never read.
+"""
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+from repro.errors import HPLError, KernelCaptureError
+from repro.hpl import Array, Double, double_, float_, get_runtime, idx, int_
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+def write_one(a):
+    a[idx] = a[idx] + 1.0
+
+
+def read_into(dst, src):
+    dst[idx] = src[idx]
+
+
+class TestHostArrayBasics:
+    def test_shape_and_sizes(self):
+        a = Array(float_, 4, 8)
+        assert a.shape == (4, 8) and a.ndim == 2
+        assert a.size == 32 and a.nbytes == 128
+
+    def test_scalar_shape_rejected(self):
+        with pytest.raises(HPLError):
+            Array(float_)
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(HPLError):
+            Array(np.float32, 8)
+
+    def test_paren_indexing(self):
+        a = Array(int_, 3, 3)
+        a.data[:] = np.arange(9).reshape(3, 3)
+        assert a(1, 2) == 5
+
+    def test_bracket_indexing_read_only_view(self):
+        a = Array(int_, 4)
+        a.data[:] = [1, 2, 3, 4]
+        view = a[1:3]
+        assert view.tolist() == [2, 3]
+        with pytest.raises(ValueError):
+            view[0] = 9
+
+    def test_setitem(self):
+        a = Array(int_, 4)
+        a[2] = 7
+        assert a(2) == 7
+
+    def test_fill(self):
+        a = Array(float_, 5).fill(2.5)
+        assert np.all(a.read() == 2.5)
+
+    def test_user_storage_wrapping(self):
+        backing = np.arange(6, dtype=np.float64)
+        a = Array(double_, 6, data=backing)
+        a[0] = 99.0
+        assert backing[0] == 99.0
+
+    def test_user_storage_dtype_mismatch_rejected(self):
+        with pytest.raises(HPLError, match="dtype"):
+            Array(double_, 4, data=np.zeros(4, np.float32))
+
+    def test_user_storage_size_mismatch_rejected(self):
+        with pytest.raises(HPLError, match="elements"):
+            Array(double_, 4, data=np.zeros(5))
+
+    def test_len(self):
+        assert len(Array(int_, 7)) == 7
+
+    def test_host_array_captured_in_kernel_rejected(self):
+        host = Array(int_, 4)
+
+        def k(a):
+            a[idx] = host[0]    # capturing a host array, not a proxy
+
+        with pytest.raises(Exception):
+            hpl.eval(k)(Array(int_, 4))
+
+
+class TestCoherence:
+    def test_kernel_write_invalidates_host(self):
+        a = Array(double_, 8).fill(1.0)
+        hpl.eval(write_one)(a)
+        assert np.all(a.read() == 2.0)
+
+    def test_read_only_arg_not_retransferred(self):
+        src = Array(double_, 8).fill(3.0)
+        dst = Array(double_, 8)
+        rt = get_runtime()
+        hpl.eval(read_into)(dst, src)
+        h2d_after_first = rt.stats.h2d_transfers
+        hpl.eval(read_into)(dst, src)
+        # src is still valid on the device: no new host->device copy
+        assert rt.stats.h2d_transfers == h2d_after_first
+
+    def test_host_write_forces_retransfer(self):
+        src = Array(double_, 8).fill(3.0)
+        dst = Array(double_, 8)
+        rt = get_runtime()
+        hpl.eval(read_into)(dst, src)
+        before = rt.stats.h2d_transfers
+        src[0] = 4.0   # host write invalidates the device copy
+        hpl.eval(read_into)(dst, src)
+        assert rt.stats.h2d_transfers == before + 1
+        assert dst(0) == 4.0
+
+    def test_write_only_arg_not_copied_in(self):
+        dst = Array(double_, 8)
+        src = Array(double_, 8).fill(1.0)
+        rt = get_runtime()
+        hpl.eval(read_into)(dst, src)
+        # only src (read) was transferred, dst (written) was not
+        assert rt.stats.h2d_transfers == 1
+
+    def test_device_result_read_back_once(self):
+        a = Array(double_, 8).fill(0.0)
+        rt = get_runtime()
+        hpl.eval(write_one)(a)
+        assert rt.stats.d2h_transfers == 0
+        a.read()
+        assert rt.stats.d2h_transfers == 1
+        a.read()   # host copy still valid
+        assert rt.stats.d2h_transfers == 1
+
+    def test_data_property_conservatively_invalidates(self):
+        src = Array(double_, 8).fill(3.0)
+        dst = Array(double_, 8)
+        rt = get_runtime()
+        hpl.eval(read_into)(dst, src)
+        before = rt.stats.h2d_transfers
+        _ = src.data       # writable alias: HPL must assume mutation
+        hpl.eval(read_into)(dst, src)
+        assert rt.stats.h2d_transfers == before + 1
+
+    def test_chained_kernels_keep_data_on_device(self):
+        a = Array(double_, 8).fill(0.0)
+        rt = get_runtime()
+        for _ in range(5):
+            hpl.eval(write_one)(a)
+        # a is read+written: one initial upload, then it stays put
+        assert rt.stats.h2d_transfers == 1
+        assert np.all(a.read() == 5.0)
+
+    def test_two_devices_each_get_a_copy(self):
+        devs = hpl.get_devices()
+        gpus = [d for d in devs if not d.is_cpu]
+        if len(gpus) < 2:
+            pytest.skip("needs two non-CPU devices")
+        src = Array(float_, 8).fill(1.0)
+        dst = Array(float_, 8)
+
+        def copy_k(d, s):
+            d[idx] = s[idx]
+
+        hpl.eval(copy_k).device(gpus[0])(dst, src)
+        assert np.all(dst.read() == 1.0)
+        dst2 = Array(float_, 8)
+        hpl.eval(copy_k).device(gpus[1])(dst2, src)
+        assert np.all(dst2.read() == 1.0)
+
+    def test_result_written_on_one_device_readable_after_other_eval(self):
+        devs = [d for d in hpl.get_devices() if not d.is_cpu]
+        if len(devs) < 2:
+            pytest.skip("needs two non-CPU devices")
+        a = Array(double_, 8).fill(0.0)
+        hpl.eval(write_one).device(devs[0])(a)
+        hpl.eval(write_one).device(devs[0])(a)
+        assert np.all(a.read() == 2.0)
+
+    def test_stats_track_bytes(self):
+        a = Array(double_, 100).fill(1.0)
+        rt = get_runtime()
+        hpl.eval(write_one)(a)
+        assert rt.stats.h2d_bytes == 800

@@ -1,0 +1,319 @@
+"""Kernel capture (tracing) and OpenCL C generation tests.
+
+These use the runtime's ``get_captured`` so they inspect the generated
+source without executing anything.
+"""
+
+import pytest
+
+import repro.hpl as hpl
+from repro.errors import KernelCaptureError
+from repro.hpl import (Array, Double, Float, Int, barrier, break_, cast,
+                       continue_, double_, elif_, else_, endfor_, endif_,
+                       endwhile_, float_, for_, gidx, idx, idy, if_, int_,
+                       lidx, return_, sqrt, where, while_, LOCAL, Local)
+from repro.hpl.runtime import get_runtime
+
+
+def capture(func, *args):
+    return get_runtime().get_captured(func, args)
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+class TestBasicCapture:
+    def test_saxpy_source(self):
+        def saxpy(y, x, a):
+            y[idx] = a * x[idx] + y[idx]
+
+        y = Array(double_, 16)
+        x = Array(double_, 16)
+        cap = capture(saxpy, y, x, Double(2.0))
+        assert "__kernel void saxpy" in cap.source
+        assert "get_global_id(0)" in cap.source
+        assert "__global double* y" in cap.source
+        assert "double a" in cap.source
+
+    def test_read_only_params_marked_const(self):
+        def k(dst, src):
+            dst[idx] = src[idx]
+
+        cap = capture(k, Array(float_, 8), Array(float_, 8))
+        assert "__global const float* src" in cap.source
+        assert "__global float* dst" in cap.source
+
+    def test_float_literals_adapt_to_float_context(self):
+        def k(a):
+            a[idx] = a[idx] * 0.5
+
+        cap = capture(k, Array(float_, 8))
+        assert "0.5f" in cap.source
+        assert not capture(k, Array(float_, 8)).info.uses_double
+
+    def test_double_literal_context(self):
+        def k(a):
+            a[idx] = a[idx] * 0.5
+
+        cap = capture(k, Array(double_, 8))
+        assert "0.5;" in cap.source or "0.5 " in cap.source
+        assert cap.info.uses_double
+
+    def test_scalar_inference_from_python_numbers(self):
+        def k(a, s, f):
+            a[idx] = a[idx] * f + s
+
+        cap = capture(k, Array(double_, 4), 3, 2.5)
+        assert "int s" in cap.source and "double f" in cap.source
+
+    def test_2d_array_linearized_with_strides(self):
+        def k(dst, src):
+            dst[idx][idy] = src[idy][idx]
+
+        cap = capture(k, Array(float_, 8, 4), Array(float_, 4, 8))
+        assert "* 4" in cap.source and "* 8" in cap.source
+
+    def test_constant_memory_param(self):
+        def k(dst, lut):
+            dst[idx] = lut[idx]
+
+        cap = capture(k, Array(float_, 8),
+                      Array(float_, 8, mem=hpl.Constant))
+        assert "__constant" in cap.source
+
+    def test_kernel_returning_value_rejected(self):
+        def bad(a):
+            a[idx] = 1
+            return 42
+
+        with pytest.raises(KernelCaptureError, match="returned a value"):
+            capture(bad, Array(int_, 4))
+
+    def test_kernel_with_no_statements_rejected(self):
+        def empty(a):
+            pass
+
+        with pytest.raises(KernelCaptureError, match="no statements"):
+            capture(empty, Array(int_, 4))
+
+    def test_wrong_arity_rejected(self):
+        def k(a, b):
+            a[idx] = b[idx]
+
+        with pytest.raises(KernelCaptureError, match="parameter"):
+            capture(k, Array(int_, 4))
+
+    def test_cache_hits_by_signature(self):
+        def k(a):
+            a[idx] = 1
+
+        rt = get_runtime()
+        c1 = capture(k, Array(int_, 4))
+        c2 = capture(k, Array(int_, 999))      # same 1-D signature
+        assert c1 is c2
+        c3 = capture(k, Array(float_, 4))      # different dtype
+        assert c3 is not c1
+
+    def test_2d_shape_participates_in_signature(self):
+        def k(a):
+            a[idx][idy] = 1
+
+        c1 = capture(k, Array(int_, 4, 4))
+        c2 = capture(k, Array(int_, 4, 8))
+        assert c1 is not c2
+
+
+class TestControlFlowCapture:
+    def test_if_elif_else_chain(self):
+        def k(a):
+            if_(idx < 2)
+            a[idx] = 1
+            elif_(idx < 4)
+            a[idx] = 2
+            else_()
+            a[idx] = 3
+            endif_()
+
+        src = capture(k, Array(int_, 8)).source
+        assert "if (" in src and "else if (" in src and "else {" in src
+
+    def test_for_loop_source(self):
+        def k(a):
+            i = Int()
+            for_(i, 0, 10, 2)
+            a[idx] += i
+            endfor_()
+
+        src = capture(k, Array(int_, 4)).source
+        assert "+= 2" in src and "< 10" in src
+
+    def test_negative_step_flips_comparison(self):
+        def k(a):
+            i = Int()
+            for_(i, 10, 0, -1)
+            a[idx] += i
+            endfor_()
+
+        src = capture(k, Array(int_, 4)).source
+        assert "> 0" in src
+
+    def test_while_break_continue_return(self):
+        def k(a):
+            i = Int(0)
+            while_(i < 100)
+            i += 1
+            if_(i == 3)
+            continue_()
+            endif_()
+            if_(i > 5)
+            break_()
+            endif_()
+            endwhile_()
+            if_(idx == 0)
+            return_()
+            endif_()
+            a[idx] = i
+
+        src = capture(k, Array(int_, 4)).source
+        assert "break;" in src and "continue;" in src and "return;" in src
+
+    def test_with_style_blocks(self):
+        def k(a):
+            i = Int()
+            with for_(i, 0, 4):
+                with if_(idx > 0):
+                    a[idx] += i
+
+        src = capture(k, Array(int_, 4)).source
+        assert "for (" in src and "if (" in src
+
+    def test_unbalanced_construct_detected(self):
+        def k(a):
+            if_(idx > 0)
+            a[idx] = 1
+            # endif_() forgotten
+
+        with pytest.raises(KernelCaptureError, match="open"):
+            capture(k, Array(int_, 4))
+
+    def test_mismatched_end_detected(self):
+        def k(a):
+            if_(idx > 0)
+            a[idx] = 1
+            endfor_()
+
+        with pytest.raises(KernelCaptureError, match="mismatch"):
+            capture(k, Array(int_, 4))
+
+    def test_python_if_on_kernel_data_raises(self):
+        def k(a):
+            if idx > 0:        # Python `if`, not if_
+                a[idx] = 1
+
+        with pytest.raises(KernelCaptureError, match="truth value"):
+            capture(k, Array(int_, 4))
+
+    def test_constructs_outside_kernel_raise(self):
+        with pytest.raises(KernelCaptureError, match="inside"):
+            if_(True)
+        with pytest.raises(KernelCaptureError, match="inside"):
+            barrier(LOCAL)
+
+    def test_for_needs_kernel_variable(self):
+        def k(a):
+            for_(3, 0, 10)
+            endfor_()
+
+        with pytest.raises(KernelCaptureError, match="induction"):
+            capture(k, Array(int_, 4))
+
+
+class TestDeclarationsAndFunctions:
+    def test_local_array_declaration(self):
+        def k(a):
+            s = Array(float_, 32, mem=Local)
+            s[lidx] = a[idx]
+            barrier(LOCAL)
+            a[idx] = s[lidx]
+
+        cap = capture(k, Array(float_, 32))
+        assert "__local float" in cap.source
+        assert cap.info.uses_barrier and cap.info.uses_local_memory
+
+    def test_private_array_declaration(self):
+        def k(a):
+            q = Array(int_, 10)
+            q[0] = idx
+            a[idx] = q[0]
+
+        src = capture(k, Array(int_, 4)).source
+        assert "int arr" in src and "[10];" in src
+
+    def test_scalar_var_named(self):
+        def k(a):
+            mySum = Float(0, name="mySum")
+            mySum += a[idx]
+            a[idx] = mySum
+
+        src = capture(k, Array(float_, 4)).source
+        assert "float mySum = 0" in src
+
+    def test_math_functions_emit_builtins(self):
+        def k(a):
+            a[idx] = sqrt(a[idx]) + hpl.fmin(a[idx], 1.0)
+
+        src = capture(k, Array(float_, 4)).source
+        assert "sqrt(" in src and "fmin(" in src
+
+    def test_cast_emitted(self):
+        def k(dst, src_):
+            dst[idx] = cast(src_[idx], int_)
+
+        src = capture(k, Array(int_, 4), Array(float_, 4)).source
+        assert "(int)" in src
+
+    def test_where_ternary(self):
+        def k(a):
+            a[idx] = where(idx > 2, a[idx], -a[idx])
+
+        src = capture(k, Array(int_, 8)).source
+        assert "?" in src and ":" in src
+
+    def test_barrier_flags(self):
+        def k(a):
+            a[idx] = 0
+            barrier(hpl.LOCAL | hpl.GLOBAL)
+
+        src = capture(k, Array(int_, 4)).source
+        assert "CLK_LOCAL_MEM_FENCE | CLK_GLOBAL_MEM_FENCE" in src
+
+    def test_scalar_param_assignment_rejected(self):
+        def k(a, n):
+            n.assign(3)
+
+        with pytest.raises(KernelCaptureError, match="by value"):
+            capture(k, Array(int_, 4), Int(5))
+
+    def test_generated_source_compiles(self):
+        """Every generated kernel must be valid input for repro.clc."""
+        from repro.clc import compile_source
+
+        def k(out, v1, v2):
+            i = Int()
+            s = Array(float_, 16, mem=Local)
+            s[lidx] = v1[idx] * v2[idx]
+            barrier(LOCAL)
+            if_(lidx == 0)
+            acc = Float(0)
+            for_(i, 0, 16)
+            acc += s[i]
+            endfor_()
+            out[gidx] = acc
+            endif_()
+
+        cap = capture(k, Array(float_, 64), Array(float_, 64),
+                      Array(float_, 64))
+        prog = compile_source(cap.source)
+        assert "k" in prog.kernels

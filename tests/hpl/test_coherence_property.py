@@ -1,0 +1,57 @@
+"""Property test of the coherence protocol: under any interleaving of
+host reads, host writes, and kernel launches on either GPU, the array
+value visible anywhere is always the value the operation sequence
+implies.  This is the invariant behind HPL's transfer minimisation —
+laziness must never be observable."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.hpl as hpl
+from repro.hpl import Array, double_, idx
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("host_write"), st.floats(-100, 100)),
+        st.tuples(st.just("host_read"), st.none()),
+        st.tuples(st.just("kernel_tesla"), st.none()),
+        st.tuples(st.just("kernel_xeon"), st.none()),
+        st.tuples(st.just("data_alias"), st.floats(-100, 100)),
+    ),
+    min_size=1, max_size=12)
+
+
+def _inc(a):
+    a[idx] = a[idx] + 1.0
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(ops=_OPS)
+def test_any_interleaving_stays_coherent(ops):
+    hpl.reset_runtime()
+    n = 8
+    a = Array(double_, n).fill(0.0)
+    model = np.zeros(n)
+
+    for op, value in ops:
+        if op == "host_write":
+            a[3] = value
+            model[3] = value
+        elif op == "host_read":
+            assert np.allclose(a.read(), model)
+        elif op == "kernel_tesla":
+            hpl.eval(_inc).device("Tesla")(a)
+            model += 1.0
+        elif op == "kernel_xeon":
+            # a second fp64-capable device (the Quadro lacks fp64)
+            hpl.eval(_inc).device("Xeon")(a)
+            model += 1.0
+        elif op == "data_alias":
+            a.data[5] = value
+            model[5] = value
+
+    assert np.allclose(a.read(), model)
+    assert np.allclose(a.read(), model)   # reading twice changes nothing

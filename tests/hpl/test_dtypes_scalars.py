@@ -1,0 +1,81 @@
+"""HPL type objects and host scalar containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hpl import (Double, Float, Int, Long, Uint, double_, float_,
+                       int_, long_, uint_)
+from repro.hpl import dtypes as D
+from repro.hpl.scalars import HostScalar
+
+
+class TestHPLTypes:
+    @pytest.mark.parametrize("t,np_dtype,size", [
+        (int_, np.int32, 4), (uint_, np.uint32, 4),
+        (long_, np.int64, 8), (float_, np.float32, 4),
+        (double_, np.float64, 8),
+    ])
+    def test_numpy_mapping(self, t, np_dtype, size):
+        assert t.np_dtype == np.dtype(np_dtype)
+        assert t.itemsize == size
+
+    def test_names_are_opencl_spellings(self):
+        assert str(double_) == "double" and str(uint_) == "uint"
+
+    def test_roundtrip_from_numpy(self):
+        assert D.from_numpy_dtype(np.float32) is float_
+        assert D.from_numpy_dtype(np.int64) is long_
+
+    def test_promotion_float_wins(self):
+        assert D.promote(int_, float_) is float_
+        assert D.promote(float_, double_) is double_
+
+    def test_promotion_int_ranks(self):
+        assert D.promote(int_, long_) is long_
+        assert D.promote(int_, uint_) is uint_
+
+    def test_infer_scalar_types(self):
+        assert D.infer_scalar_type(3) is int_
+        assert D.infer_scalar_type(2 ** 40) is long_
+        assert D.infer_scalar_type(1.5) is double_
+        assert D.infer_scalar_type(np.float32(1.5)) is float_
+        assert D.infer_scalar_type(True) is int_
+
+    def test_infer_rejects_non_scalars(self):
+        with pytest.raises(TypeError):
+            D.infer_scalar_type("hello")
+
+
+class TestHostScalars:
+    def test_value_roundtrip(self):
+        a = Double(2.5)
+        assert a.value == 2.5 and float(a) == 2.5
+
+    def test_int_coercion(self):
+        assert Int(3.9).value == 3
+
+    def test_float_coercion(self):
+        assert isinstance(Float(2).value, float)
+
+    def test_setter(self):
+        a = Int(0)
+        a.value = 7
+        assert int(a) == 7
+
+    def test_set_chains(self):
+        assert Double(0).set(1.5).value == 1.5
+
+    def test_repr(self):
+        assert "Int" in repr(Int(3))
+
+    def test_default_zero(self):
+        assert Uint().value == 0
+
+    def test_host_scalars_outside_kernel_are_containers(self):
+        assert isinstance(Long(1), HostScalar)
+
+    @given(st.integers(-2**31, 2**31 - 1))
+    def test_int_roundtrip_property(self, v):
+        assert Int(v).value == v

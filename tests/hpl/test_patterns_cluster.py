@@ -1,0 +1,208 @@
+"""Pattern library and multi-device cluster extension tests (§VII)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.hpl as hpl
+from repro.errors import DomainError, HPLError
+from repro.hpl import Array, Float, double_, float_, idx, int_
+from repro.hpl.cluster import Cluster, DistributedArray, cluster_eval
+from repro.hpl.patterns import (map_arrays, reduce_array, scan_array,
+                                stencil_1d)
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+def farray(values):
+    a = Array(float_, len(values))
+    a.data[:] = np.asarray(values, dtype=np.float32)
+    return a
+
+
+class TestMap:
+    def test_binary_map(self, rng):
+        a = farray(rng.random(128))
+        b = farray(rng.random(128))
+        out = Array(float_, 128)
+        map_arrays(lambda x, y: x * y, out, a, b)
+        assert np.allclose(out.read(), a.read() * b.read(), rtol=1e-6)
+
+    def test_unary_map_with_math(self, rng):
+        a = farray(rng.random(64) + 0.5)
+        out = Array(float_, 64)
+        map_arrays(lambda x: hpl.sqrt(x), out, a)
+        assert np.allclose(out.read(), np.sqrt(a.read()), rtol=1e-5)
+
+    def test_map_with_extra_scalar(self, rng):
+        a = farray(rng.random(32))
+        out = Array(float_, 32)
+        map_arrays(lambda x, s: x * s, out, a, extra_args=(Float(3.0),))
+        assert np.allclose(out.read(), a.read() * 3.0, rtol=1e-6)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(HPLError):
+            map_arrays(lambda x: x, Array(float_, 4), Array(float_, 5))
+
+    def test_map_kernel_is_cached(self, rng):
+        fn = lambda x: x + 1.0  # noqa: E731
+        a = farray(rng.random(16))
+        out = Array(float_, 16)
+        map_arrays(fn, out, a)
+        rt = hpl.get_runtime()
+        built = rt.stats.kernels_built
+        map_arrays(fn, out, a)
+        assert rt.stats.kernels_built == built
+
+    def test_int_map(self):
+        a = Array(int_, 16)
+        a.data[:] = np.arange(16)
+        out = Array(int_, 16)
+        map_arrays(lambda x: x * 2 + 1, out, a)
+        assert np.array_equal(out.read(), np.arange(16) * 2 + 1)
+
+
+class TestReduce:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=500))
+    def test_sum_matches_numpy(self, values):
+        a = farray(values)
+        got = reduce_array(a, "+")
+        assert np.isclose(got, a.read().astype(np.float64).sum(),
+                          rtol=1e-3, atol=1e-3)
+
+    def test_min_max(self, rng):
+        a = farray(rng.random(300) * 100)
+        assert np.isclose(reduce_array(a, "min"), a.read().min())
+        assert np.isclose(reduce_array(a, "max"), a.read().max())
+
+    def test_single_element(self):
+        a = farray([42.0])
+        assert reduce_array(a, "+") == pytest.approx(42.0)
+
+    def test_int_sum(self):
+        a = Array(int_, 1000)
+        a.data[:] = np.arange(1000)
+        assert reduce_array(a, "+") == 499500
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(HPLError):
+            reduce_array(farray([1.0]), "*")
+
+
+class TestScanAndStencil:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(1, 300))
+    def test_scan_matches_cumsum(self, n):
+        a = farray(np.ones(n))
+        s = scan_array(a)
+        assert np.allclose(s.read(), np.arange(1, n + 1), rtol=1e-4)
+
+    def test_scan_random_values(self, rng):
+        vals = rng.random(257).astype(np.float32)
+        s = scan_array(farray(vals))
+        assert np.allclose(s.read(), np.cumsum(vals, dtype=np.float64),
+                           rtol=1e-3)
+
+    def test_scan_rejects_2d(self):
+        with pytest.raises(HPLError):
+            scan_array(Array(float_, 4, 4))
+
+    def test_stencil_blur(self, rng):
+        vals = rng.random(100).astype(np.float32)
+        src = farray(vals)
+        out = Array(float_, 100)
+        stencil_1d(out, src, [0.25, 0.5, 0.25])
+        ref = np.array([0.25 * vals[max(i - 1, 0)] + 0.5 * vals[i]
+                        + 0.25 * vals[min(i + 1, 99)]
+                        for i in range(100)])
+        assert np.allclose(out.read(), ref, rtol=1e-4)
+
+    def test_stencil_identity(self, rng):
+        vals = rng.random(32).astype(np.float32)
+        src = farray(vals)
+        out = Array(float_, 32)
+        stencil_1d(out, src, [0.0, 1.0, 0.0])
+        assert np.allclose(out.read(), vals, rtol=1e-6)
+
+    def test_stencil_needs_odd_weights(self):
+        with pytest.raises(HPLError):
+            stencil_1d(Array(float_, 4), Array(float_, 4), [1.0, 1.0])
+
+
+class TestCluster:
+    def test_default_cluster_uses_non_cpu_devices(self):
+        c = Cluster()
+        assert len(c) == 2
+        assert all(not d.is_cpu for d in c.devices)
+
+    def test_partition_bounds_cover_everything(self):
+        c = Cluster()
+        bounds = c.partition_bounds(101)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 101
+        for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
+            assert a1 == b0
+
+    def test_partition_too_small_rejected(self):
+        c = Cluster()
+        with pytest.raises(DomainError):
+            c.partition_bounds(1)
+
+    def test_scatter_gather_roundtrip(self, rng):
+        c = Cluster()
+        data = rng.random(37).astype(np.float32)
+        d = DistributedArray(float_, 37, c)
+        d.scatter(data)
+        assert np.array_equal(d.gather(), data)
+
+    def test_distributed_saxpy(self, rng):
+        def saxpy_part(y, x, a, offset, count):
+            y[idx] = a * x[idx] + y[idx]
+
+        c = Cluster()
+        xs = rng.random(100).astype(np.float32)
+        ys = rng.random(100).astype(np.float32)
+        dx = DistributedArray(float_, 100, c, data=xs)
+        dy = DistributedArray(float_, 100, c, data=ys)
+        results = cluster_eval(saxpy_part, c, dy, dx, Float(2.0))
+        assert len(results) == len(c)
+        assert {r.device.name for r in results} == \
+            {d.name for d in c.devices}
+        assert np.allclose(dy.gather(), 2.0 * xs + ys, rtol=1e-5)
+
+    def test_offset_parameter_reaches_kernel(self, rng):
+        def fill_global_index(out, offset, count):
+            out[idx] = offset + idx
+
+        c = Cluster()
+        d = DistributedArray(float_, 64, c)
+        cluster_eval(fill_global_index, c, d)
+        assert np.array_equal(d.gather(), np.arange(64))
+
+    def test_mismatched_sizes_rejected(self):
+        c = Cluster()
+        a = DistributedArray(float_, 32, c)
+        b = DistributedArray(float_, 64, c)
+
+        def k(x, y, offset, count):
+            x[idx] = y[idx]
+
+        with pytest.raises(HPLError):
+            cluster_eval(k, c, a, b)
+
+    def test_needs_a_distributed_array(self):
+        def k(offset, count):
+            i = hpl.Int()
+            i.assign(offset)
+
+        with pytest.raises(HPLError):
+            cluster_eval(k, Cluster())
+
+    def test_scatter_size_mismatch(self):
+        d = DistributedArray(float_, 16, Cluster())
+        with pytest.raises(HPLError):
+            d.scatter(np.zeros(10, np.float32))

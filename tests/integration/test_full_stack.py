@@ -1,0 +1,116 @@
+"""End-to-end scenarios across the whole stack, including the examples."""
+
+import runpy
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+from repro.hpl import (LOCAL, Array, Double, Float, Int, Local, barrier,
+                       double_, endfor_, endif_, eval, float_, for_, gidx,
+                       idx, if_, int_, lidx)
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+class TestExamplesRun:
+    """The shipped examples are part of the tested surface."""
+
+    @pytest.mark.parametrize("example,kwargs", [
+        ("examples/quickstart.py", {}),
+        ("examples/heat_diffusion.py", {"n": 512, "steps": 30}),
+        ("examples/nbody.py", {"n": 96, "steps": 2}),
+        ("examples/multi_device.py", {"n": 5000}),
+        ("examples/transpose_naive.py", {"h": 64, "w": 64}),
+    ])
+    def test_example(self, example, kwargs):
+        mod = runpy.run_path(example)
+        mod["main"](**kwargs)
+
+
+class TestMixedWorkflow:
+    def test_pipeline_of_heterogeneous_kernels(self, rng):
+        """A realistic pipeline: normalize on the GPU, then per-group
+        partial sums through local memory — the intermediate data stays
+        device-resident throughout."""
+        n, group = 4096, 64
+
+        def normalize(data, lo, span):
+            data[idx] = (data[idx] - lo) / span
+
+        def group_sums(partial, data):
+            s = Array(float_, group, mem=Local)
+            s[lidx] = data[idx]
+            barrier(LOCAL)
+            if_(lidx == 0)
+            acc = Float(0)
+            i = Int()
+            for_(i, 0, group)
+            acc += s[i]
+            endfor_()
+            partial[gidx] = acc
+            endif_()
+
+        raw = rng.random(n).astype(np.float32) * 50 + 10
+        data = Array(float_, n, data=raw.copy())
+        lo = float(raw.min())
+        span = float(raw.max() - raw.min())
+        eval(normalize)(data, Float(lo), Float(span))
+
+        partial = Array(float_, n // group)
+        eval(group_sums).global_(n).local_(group)(partial, data)
+
+        expected = ((raw - lo) / span).reshape(-1, group).sum(axis=1)
+        assert np.allclose(partial.read(), expected, rtol=1e-4)
+        # one upload (raw); normalize result stayed on the device
+        assert hpl.get_runtime().stats.h2d_transfers == 1
+
+    def test_same_kernel_both_gpus_same_results(self, rng):
+        def scale(a, f):
+            a[idx] = a[idx] * f
+
+        base = rng.random(256).astype(np.float32)
+        results = []
+        for name in ("Tesla", "Quadro"):
+            a = Array(float_, 256, data=base.copy())
+            eval(scale).device(name)(a, Float(1.5))
+            results.append(a.read().copy())
+        assert np.array_equal(results[0], results[1])
+
+    def test_cpu_device_also_runs_hpl(self, rng):
+        def incr(a):
+            a[idx] = a[idx] + 1.0
+
+        a = Array(double_, 64).fill(1.0)
+        eval(incr).device("Xeon")(a)
+        assert np.all(a.read() == 2.0)
+
+    def test_double_precision_workflow_matches_numpy_exactly(self, rng):
+        """double arithmetic in the engines is IEEE double: results are
+        bit-identical to NumPy for the same expression."""
+        def poly(out, x):
+            out[idx] = (x[idx] * x[idx] * 3.0 + x[idx] * 2.0) - 7.0
+
+        xs = rng.random(128)
+        x = Array(double_, 128, data=xs.copy())
+        out = Array(double_, 128)
+        eval(poly)(out, x)
+        assert np.array_equal(out.read(), (xs * xs * 3.0 + xs * 2.0) - 7.0)
+
+    def test_many_kernels_many_arrays_stress(self, rng):
+        arrays = [Array(float_, 128) for _ in range(10)]
+        for i, a in enumerate(arrays):
+            a.fill(float(i))
+
+        def add_into(dst, src):
+            dst[idx] = dst[idx] + src[idx]
+
+        for i in range(1, 10):
+            eval(add_into)(arrays[0], arrays[i])
+        assert np.all(arrays[0].read() == sum(range(10)))
+        stats = hpl.get_runtime().stats
+        assert stats.kernels_built == 1    # one signature, one binary
+        assert stats.cache_hits == 8

@@ -1,0 +1,169 @@
+"""Cost model and coalescing-measurement tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.ocl as cl
+from repro.ocl.costmodel import (CostCounters, count_transactions,
+                                 kernel_time, transfer_time)
+
+
+class TestCoalescingCounter:
+    def test_fully_coalesced_warp(self):
+        # 32 lanes, consecutive 4-byte addresses -> one 128 B segment
+        addr = np.arange(32) * 4
+        warps = np.zeros(32, dtype=np.int64)
+        assert count_transactions(addr, warps, 128) == 1
+
+    def test_strided_access_needs_more_segments(self):
+        addr = np.arange(32) * 128
+        warps = np.zeros(32, dtype=np.int64)
+        assert count_transactions(addr, warps, 128) == 32
+
+    def test_same_address_broadcast_is_one_transaction(self):
+        addr = np.full(32, 4096)
+        warps = np.zeros(32, dtype=np.int64)
+        assert count_transactions(addr, warps, 128) == 1
+
+    def test_two_warps_do_not_share_segments(self):
+        addr = np.zeros(64, dtype=np.int64)
+        warps = np.repeat([0, 1], 32)
+        assert count_transactions(addr, warps, 128) == 2
+
+    def test_empty(self):
+        assert count_transactions(np.array([], dtype=np.int64),
+                                  np.array([], dtype=np.int64), 128) == 0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=128))
+    def test_bounds(self, addresses):
+        """1 <= transactions <= lanes for a single warp."""
+        addr = np.array(addresses, dtype=np.int64)
+        warps = np.zeros(len(addr), dtype=np.int64)
+        tx = count_transactions(addr, warps, 128)
+        assert 1 <= tx <= len(addr)
+
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=64))
+    def test_transactions_only_grow_with_extra_accesses(self, addresses):
+        addr = np.array(addresses, dtype=np.int64)
+        warps = np.zeros(len(addr), dtype=np.int64)
+        t_all = count_transactions(addr, warps, 128)
+        t_prefix = count_transactions(addr[:-1], warps[:-1], 128) \
+            if len(addr) > 1 else 0
+        assert t_all >= t_prefix
+
+
+class TestKernelTime:
+    def make(self, **kw):
+        base = dict(work_items=1024, work_groups=8, alu_ops=1e6,
+                    global_load_bytes=1 << 20,
+                    global_load_transactions=8192, global_loads=262144)
+        base.update(kw)
+        return CostCounters(**base)
+
+    def test_gpu_overlaps_compute_and_memory(self):
+        c = self.make()
+        t = kernel_time(c, cl.TESLA_C2050)
+        assert t.total == pytest.approx(
+            max(t.compute, t.memory) + t.barrier + t.launch)
+
+    def test_cpu_adds_compute_and_memory(self):
+        c = self.make()
+        t = kernel_time(c, cl.XEON_HOST)
+        assert t.total == pytest.approx(
+            t.compute + t.memory + t.barrier + t.launch)
+
+    def test_fp64_penalty(self):
+        fast = kernel_time(self.make(), cl.TESLA_C2050).compute
+        slow = kernel_time(self.make(alu_ops=0, fp64_ops=1e6),
+                           cl.TESLA_C2050).compute
+        assert slow == pytest.approx(fast / cl.TESLA_C2050.fp64_ratio)
+
+    def test_fp64_on_unsupported_device_raises(self):
+        with pytest.raises(ValueError):
+            kernel_time(self.make(fp64_ops=10), cl.QUADRO_FX380)
+
+    def test_more_compute_units_is_faster(self):
+        from dataclasses import replace
+        c = self.make(global_load_bytes=0, global_load_transactions=0)
+        small = replace(cl.TESLA_C2050, compute_units=16)
+        assert kernel_time(c, cl.TESLA_C2050).compute < \
+            kernel_time(c, small).compute
+
+    def test_scaled_counters(self):
+        c = self.make()
+        s = c.scaled(4.0)
+        assert s.alu_ops == c.alu_ops * 4
+        assert s.global_load_bytes == c.global_load_bytes * 4
+
+    def test_merge_accumulates(self):
+        a, b = self.make(), self.make()
+        a.merge(b)
+        assert a.alu_ops == 2e6
+
+    def test_serial_baseline_slower_than_parallel_host(self):
+        c = self.make()
+        assert kernel_time(c, cl.XEON_SERIAL).total > \
+            kernel_time(c, cl.XEON_HOST).total
+
+
+class TestTransferTime:
+    def test_latency_floor(self):
+        assert transfer_time(0, cl.TESLA_C2050) == pytest.approx(
+            cl.TESLA_C2050.transfer_latency_us * 1e-6)
+
+    def test_bandwidth_term(self):
+        one_gb = transfer_time(1 << 30, cl.TESLA_C2050)
+        assert one_gb == pytest.approx(
+            cl.TESLA_C2050.transfer_latency_us * 1e-6
+            + (1 << 30) / (cl.TESLA_C2050.transfer_gbs * 1e9))
+
+    def test_monotone_in_size(self):
+        assert transfer_time(2 << 20, cl.TESLA_C2050) > \
+            transfer_time(1 << 20, cl.TESLA_C2050)
+
+
+class TestMeasuredCoalescing:
+    """The engines must measure real coalescing differences."""
+
+    def _counters(self, src, n, cl_run):
+        device = cl.Device(cl.TESLA_C2050, "vector")
+        a = np.zeros(n, dtype=np.float32)
+        return cl_run(device, src, "f", [a], (n,)).counters
+
+    def test_sequential_vs_strided_loads(self, cl_run):
+        seq = """__kernel void f(__global float* a) {
+            int i = get_global_id(0);
+            a[i] = a[i] + 1.0f;
+        }"""
+        device = cl.Device(cl.TESLA_C2050, "vector")
+        n = 4096
+        a = np.zeros(2 * n, dtype=np.float32)
+        ev_seq = cl_run(device, seq, "f", [a], (n,))
+
+        strided = """__kernel void f(__global float* a) {
+            int i = get_global_id(0);
+            a[i * 2] = a[i * 2] + 1.0f;
+        }"""
+        ev_str = cl_run(device, strided, "f", [a], (n,))
+        assert ev_str.counters.global_load_transactions > \
+            ev_seq.counters.global_load_transactions
+
+    def test_gather_costs_most(self, cl_run):
+        device = cl.Device(cl.TESLA_C2050, "vector")
+        n = 4096
+        rng = np.random.default_rng(0)
+        idx = rng.permutation(n).astype(np.int32)
+        gather = """__kernel void f(__global float* o,
+                __global const float* a, __global const int* idx) {
+            int i = get_global_id(0);
+            o[i] = a[idx[i]];
+        }"""
+        o = np.zeros(n, np.float32)
+        a = rng.random(n).astype(np.float32)
+        ev = cl_run(device, gather, "f", [o, a, idx], (n,))
+        # random gather: far more transactions than the ~n*4/128 a
+        # coalesced sweep of both arrays would need
+        coalesced = 2 * (n * 4 // 128)
+        assert ev.counters.global_load_transactions > 4 * coalesced

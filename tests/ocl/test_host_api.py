@@ -1,0 +1,250 @@
+"""SimCL host object-model tests (platform/context/buffer/program/...)."""
+
+import numpy as np
+import pytest
+
+import repro.ocl as cl
+from repro.errors import (BuildProgramFailure, InvalidKernelArgs,
+                          InvalidValue, InvalidWorkGroupSize,
+                          OutOfResources, ProfilingInfoNotAvailable)
+
+
+@pytest.fixture()
+def ctx():
+    device = cl.Device(cl.TESLA_C2050)
+    return cl.Context([device])
+
+
+class TestPlatformAndDevices:
+    def test_single_platform(self):
+        platforms = cl.get_platforms()
+        assert len(platforms) == 1
+        assert platforms[0].name == "SimCL"
+
+    def test_default_roster_matches_paper_machine(self):
+        devices = cl.get_platforms()[0].get_devices()
+        names = [d.name for d in devices]
+        assert any("Tesla" in n for n in names)
+        assert any("Quadro" in n for n in names)
+        assert any("Xeon" in n for n in names)
+
+    def test_gpu_filter(self):
+        gpus = cl.get_platforms()[0].get_devices(cl.device_type.GPU)
+        assert gpus and all(d.is_gpu for d in gpus)
+
+    def test_cpu_filter(self):
+        cpus = cl.get_platforms()[0].get_devices(cl.device_type.CPU)
+        assert len(cpus) == 1 and cpus[0].is_cpu
+
+    def test_device_info_surface(self):
+        tesla = cl.Device(cl.TESLA_C2050)
+        assert tesla.max_compute_units == 448
+        assert tesla.max_clock_frequency == 1150
+        assert tesla.global_mem_size == 6 * (1 << 30)
+        assert tesla.supports_fp64
+        assert "cl_khr_fp64" in tesla.extensions
+
+    def test_quadro_lacks_fp64(self):
+        quadro = cl.Device(cl.QUADRO_FX380)
+        assert not quadro.supports_fp64
+        assert "cl_khr_fp64" not in quadro.extensions
+
+    def test_platform_roster_override(self):
+        cl.set_platform_devices([cl.XEON_HOST])
+        try:
+            devices = cl.get_platforms()[0].get_devices()
+            assert len(devices) == 1 and devices[0].is_cpu
+        finally:
+            cl.reset_platform_devices()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            cl.Device(cl.TESLA_C2050, "quantum")
+
+
+class TestContext:
+    def test_requires_devices(self):
+        with pytest.raises(InvalidValue):
+            cl.Context([])
+
+    def test_rejects_non_devices(self):
+        from repro.errors import InvalidDevice
+        with pytest.raises(InvalidDevice):
+            cl.Context(["not a device"])
+
+    def test_single_device_shorthand(self):
+        device = cl.Device(cl.TESLA_C2050)
+        assert cl.Context(device).devices == (device,)
+
+
+class TestBuffer:
+    def test_sized_allocation(self, ctx):
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1024)
+        assert buf.size == 1024
+
+    def test_copy_host_ptr(self, ctx):
+        data = np.arange(10, dtype=np.float32)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_ONLY
+                        | cl.mem_flags.COPY_HOST_PTR, hostbuf=data)
+        assert np.array_equal(buf.view(np.float32), data)
+
+    def test_copy_host_ptr_is_a_copy(self, ctx):
+        data = np.arange(4, dtype=np.int32)
+        buf = cl.Buffer(ctx, cl.mem_flags.COPY_HOST_PTR, hostbuf=data)
+        data[0] = 99
+        assert buf.view(np.int32)[0] == 0
+
+    def test_use_host_ptr_aliases(self, ctx):
+        data = np.arange(4, dtype=np.int32)
+        buf = cl.Buffer(ctx, cl.mem_flags.USE_HOST_PTR, hostbuf=data)
+        buf.view(np.int32)[0] = 7
+        assert data[0] == 7
+
+    def test_zero_size_rejected(self, ctx):
+        with pytest.raises(InvalidValue):
+            cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=0)
+
+    def test_oversized_rejected(self, ctx):
+        with pytest.raises(OutOfResources):
+            cl.Buffer(ctx, cl.mem_flags.READ_WRITE,
+                      size=100 * (1 << 30))
+
+    def test_size_mismatch_with_hostbuf(self, ctx):
+        with pytest.raises(InvalidValue):
+            cl.Buffer(ctx, cl.mem_flags.COPY_HOST_PTR, size=1,
+                      hostbuf=np.zeros(10))
+
+    def test_read_write_roundtrip(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=40)
+        data = np.arange(10, dtype=np.float32)
+        queue.enqueue_write_buffer(buf, data)
+        out = np.zeros(10, dtype=np.float32)
+        queue.enqueue_read_buffer(buf, out)
+        assert np.array_equal(out, data)
+
+    def test_copy_buffer(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        a = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        b = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        queue.enqueue_write_buffer(a, np.arange(4, dtype=np.int32))
+        queue.enqueue_copy_buffer(a, b)
+        assert np.array_equal(b.view(np.int32), np.arange(4))
+
+    def test_local_memory_positive(self):
+        with pytest.raises(InvalidValue):
+            cl.LocalMemory(0)
+
+
+class TestProgramAndKernel:
+    GOOD = "__kernel void k(__global int* a) { a[get_global_id(0)] = 1; }"
+
+    def test_build_and_kernel_names(self, ctx):
+        program = cl.Program(ctx, self.GOOD).build()
+        assert program.kernel_names == ["k"]
+
+    def test_build_failure_has_log(self, ctx):
+        program = cl.Program(ctx, "__kernel void k( {")
+        with pytest.raises(BuildProgramFailure):
+            program.build()
+        assert program.build_log
+
+    def test_fp64_rejected_on_quadro(self):
+        quadro_ctx = cl.Context([cl.Device(cl.QUADRO_FX380)])
+        src = ("__kernel void k(__global double* a) "
+               "{ a[0] = 1.0; }")
+        with pytest.raises(BuildProgramFailure, match="double"):
+            cl.Program(quadro_ctx, src).build()
+
+    def test_unbuilt_program_refuses_kernels(self, ctx):
+        with pytest.raises(InvalidValue, match="build"):
+            cl.Program(ctx, self.GOOD).create_kernel("k")
+
+    def test_unknown_kernel_name(self, ctx):
+        program = cl.Program(ctx, self.GOOD).build()
+        with pytest.raises(InvalidValue, match="no kernel"):
+            program.create_kernel("nope")
+
+    def test_build_options_reach_preprocessor(self, ctx):
+        src = "__kernel void k(__global int* a) { a[0] = VALUE; }"
+        program = cl.Program(ctx, src).build("-DVALUE=42")
+        queue = cl.CommandQueue(ctx)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=4)
+        kernel = program.create_kernel("k").set_args(buf)
+        queue.enqueue_nd_range_kernel(kernel, (1,))
+        assert buf.view(np.int32)[0] == 42
+
+    def test_set_arg_type_checking(self, ctx):
+        program = cl.Program(ctx, self.GOOD).build()
+        kernel = program.create_kernel("k")
+        with pytest.raises(InvalidKernelArgs):
+            kernel.set_arg(0, 3)          # scalar for a buffer param
+        with pytest.raises(InvalidValue):
+            kernel.set_arg(5, 3)          # out of range
+
+    def test_unbound_args_detected(self, ctx):
+        program = cl.Program(ctx, self.GOOD).build()
+        kernel = program.create_kernel("k")
+        queue = cl.CommandQueue(ctx)
+        with pytest.raises(InvalidKernelArgs, match="unbound"):
+            queue.enqueue_nd_range_kernel(kernel, (4,))
+
+    def test_buffer_dtype_mismatch(self, ctx):
+        src = "__kernel void k(__global float* a) { a[0] = 1.0f; }"
+        program = cl.Program(ctx, src).build()
+        kernel = program.create_kernel("k")
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=6)  # not /4
+        with pytest.raises(Exception):
+            kernel.set_arg(0, buf)
+
+
+class TestQueueAndEvents:
+    def test_bad_local_size_rejected(self, ctx):
+        program = cl.Program(ctx, TestProgramAndKernel.GOOD).build()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=400)
+        kernel = program.create_kernel("k").set_args(buf)
+        queue = cl.CommandQueue(ctx)
+        with pytest.raises(InvalidWorkGroupSize):
+            queue.enqueue_nd_range_kernel(kernel, (100,), (7,))
+
+    def test_simulated_clock_advances(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 20)
+        before = queue.clock
+        queue.enqueue_write_buffer(buf, np.zeros(1 << 18,
+                                                 dtype=np.float32))
+        assert queue.clock > before
+
+    def test_events_are_ordered(self, ctx):
+        queue = cl.CommandQueue(ctx)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=4096)
+        e1 = queue.enqueue_write_buffer(buf, np.zeros(1024,
+                                                      dtype=np.float32))
+        e2 = queue.enqueue_write_buffer(buf, np.zeros(1024,
+                                                      dtype=np.float32))
+        assert e2.start_ns >= e1.end_ns
+
+    def test_profiling_disabled(self, ctx):
+        queue = cl.CommandQueue(ctx, profiling=False)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=4)
+        event = queue.enqueue_write_buffer(buf, np.zeros(1, np.float32))
+        with pytest.raises(ProfilingInfoNotAvailable):
+            _ = event.profile_start
+
+    def test_kernel_event_carries_counters(self, ctx):
+        program = cl.Program(ctx, TestProgramAndKernel.GOOD).build()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=400)
+        kernel = program.create_kernel("k").set_args(buf)
+        queue = cl.CommandQueue(ctx)
+        event = queue.enqueue_nd_range_kernel(kernel, (100,))
+        assert event.counters.global_stores == 100
+        # duration is quantised to whole simulated nanoseconds
+        assert event.breakdown.total == pytest.approx(event.duration,
+                                                      abs=2e-9)
+
+    def test_queue_device_must_be_in_context(self):
+        d1 = cl.Device(cl.TESLA_C2050)
+        d2 = cl.Device(cl.QUADRO_FX380)
+        ctx = cl.Context([d1])
+        with pytest.raises(InvalidValue):
+            cl.CommandQueue(ctx, d2)

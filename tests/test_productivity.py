@@ -1,0 +1,102 @@
+"""SLOC metric tests (sloccount-equivalent of §V-A)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.productivity import (count_sloc, count_sloc_c,
+                                count_sloc_python, sloc_report)
+
+
+class TestCSloc:
+    def test_plain_lines(self):
+        assert count_sloc_c("int a;\nint b;\n") == 2
+
+    def test_blank_lines_excluded(self):
+        assert count_sloc_c("int a;\n\n\nint b;") == 2
+
+    def test_line_comments_excluded(self):
+        assert count_sloc_c("// comment only\nint a; // trailing\n") == 1
+
+    def test_block_comment_excluded(self):
+        assert count_sloc_c("/* a\nb\nc */\nint x;") == 1
+
+    def test_code_before_block_comment_counts(self):
+        assert count_sloc_c("int x; /* c\nmore c */ int y;") == 2
+
+    def test_comment_markers_inside_strings(self):
+        assert count_sloc_c('char* s = "// not a comment";') == 1
+
+    def test_whitespace_only_line(self):
+        assert count_sloc_c("   \t  \nint x;") == 1
+
+    def test_empty_source(self):
+        assert count_sloc_c("") == 0
+
+    def test_realistic_kernel(self):
+        src = """
+        /* header comment */
+        __kernel void f(__global int* a) {
+            int i = get_global_id(0);   // thread id
+            a[i] = i;
+        }
+        """
+        assert count_sloc_c(src) == 4
+
+
+class TestPythonSloc:
+    def test_plain(self):
+        assert count_sloc_python("a = 1\nb = 2\n") == 2
+
+    def test_comments_excluded(self):
+        assert count_sloc_python("# comment\na = 1  # x\n") == 1
+
+    def test_blank_lines_excluded(self):
+        assert count_sloc_python("a = 1\n\n\nb = 2\n") == 2
+
+    def test_multiline_statement_counts_all_lines(self):
+        assert count_sloc_python("x = (1 +\n     2)\n") == 2
+
+    def test_docstrings_counted_by_default(self):
+        src = 'def f():\n    """doc"""\n    return 1\n'
+        assert count_sloc_python(src) == 3
+
+    def test_docstrings_excludable(self):
+        src = 'def f():\n    """doc"""\n    return 1\n'
+        assert count_sloc_python(src, count_docstrings=False) == 2
+
+    def test_triple_quoted_data_counts(self):
+        src = 'KERNEL = """\nline\n"""\n'
+        assert count_sloc_python(src) == 3
+
+    def test_dispatch(self):
+        assert count_sloc("int a;", "c") == 1
+        assert count_sloc("a = 1", "python") == 1
+        with pytest.raises(ValueError):
+            count_sloc("x", "cobol")
+
+
+class TestReport:
+    def test_rows(self):
+        rows = sloc_report([
+            ("bench", ("int a;\nint b;\nint c;\nint d;", "c"),
+             ("a = 1", "python")),
+        ])
+        row = rows[0]
+        assert row["opencl_sloc"] == 4 and row["hpl_sloc"] == 1
+        assert row["reduction_pct"] == pytest.approx(75.0)
+        assert row["ratio"] == pytest.approx(4.0)
+
+
+@given(st.lists(st.sampled_from(["int x;", "", "// c", "   "]),
+                max_size=30))
+def test_c_sloc_never_exceeds_line_count(lines):
+    text = "\n".join(lines)
+    assert 0 <= count_sloc_c(text) <= len(lines or [""])
+
+
+@given(st.lists(st.sampled_from(["x = 1", "", "# c"]), max_size=30))
+def test_python_sloc_counts_code_lines_exactly(lines):
+    text = "\n".join(lines)
+    expected = sum(1 for ln in lines if ln == "x = 1")
+    assert count_sloc_python(text) == expected
