@@ -186,6 +186,22 @@ def run_fig9() -> list[dict]:
 
 # -- §V-B warm-cache behaviour ---------------------------------------------------------------------
 
+def run_ep(ep_class: str = "S", device: str = TESLA) -> dict:
+    """One EP pair (OpenCL + HPL) — the quick CLI / tracing target."""
+    problem = ep.ep_problem(ep_class)
+    pair = _run_pair("EP", problem, device)
+    serial = pair["serial_seconds"]
+    return {
+        "class": ep_class,
+        "device": pair["device"],
+        "serial_seconds": serial,
+        "opencl_seconds": pair["opencl"].total_seconds(include_build=True),
+        "hpl_seconds": pair["hpl"].total_seconds(include_build=True),
+        "hpl_speedup": serial / pair["hpl"].total_seconds(
+            include_build=True),
+    }
+
+
 def run_warm_cache(ep_class: str = "W") -> dict:
     """First vs second invocation of the same HPL kernel (binary reuse)."""
     problem = ep.ep_problem(ep_class)
@@ -213,3 +229,88 @@ def run_warm_cache(ep_class: str = "W") -> dict:
         "warm_overhead_seconds": (warm.hpl_overhead_seconds
                                   + warm.build_seconds),
     }
+
+
+# -- command-line entry point -------------------------------------------------
+#
+# ``python -m repro.benchsuite [target ...] [--trace out.json] [--verbose]``
+# regenerates paper tables/figures from the shell.  With ``--trace`` the
+# whole run executes under the global tracer and the spans are exported
+# when it finishes: ``.jsonl`` suffix -> flat span log (the input format
+# of ``python -m repro.trace summarize``), anything else -> Chrome
+# ``chrome://tracing`` JSON.
+
+#: CLI target name -> (runner, formatter); formatter may be None
+def _cli_targets() -> dict:
+    from . import report
+
+    return {
+        "ep": (run_ep, None),
+        "table1": (run_table1, report.format_table1),
+        "fig6": (run_fig6, report.format_fig6),
+        "fig7": (run_fig7, report.format_fig7),
+        "fig8": (run_fig8, report.format_fig8),
+        "fig9": (run_fig9, report.format_fig9),
+        "warm": (run_warm_cache, report.format_warm_cache),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point behind ``python -m repro.benchsuite``."""
+    import argparse
+    import json
+
+    from .. import trace
+    from ..hpl import get_runtime
+    from . import report
+
+    targets = _cli_targets()
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchsuite",
+        description="Run the paper's experiments "
+                    "(tables/figures) on the simulated platform.")
+    parser.add_argument("targets", nargs="*", default=["ep"],
+                        choices=sorted(targets), metavar="target",
+                        help=f"one or more of: {', '.join(sorted(targets))}"
+                             " (default: ep)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="capture a trace of the run; writes a JSONL "
+                             "span log for *.jsonl, Chrome-trace JSON "
+                             "otherwise")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw result data as JSON instead of "
+                             "the formatted tables")
+    parser.add_argument("--verbose", "-v", action="store_true",
+                        help="also print the HPL metrics-registry "
+                             "summary after each target")
+    parser.add_argument("--ep-class", default="S",
+                        choices=("S", "W", "A", "B", "C"),
+                        help="NAS class for the 'ep' target (default: S)")
+    ns = parser.parse_args(argv)
+
+    if ns.trace:
+        trace.enable(fresh=True)
+
+    for name in ns.targets:
+        run, fmt = targets[name]
+        with trace.span(f"target:{name}", category="benchsuite"):
+            result = run(ns.ep_class) if name == "ep" else run()
+        if ns.json:
+            print(json.dumps({name: result}, indent=2, default=str))
+        elif fmt is not None:
+            print(fmt(result))
+        else:
+            for key, value in result.items():
+                print(f"{key:>16}: {value}")
+        if ns.verbose:
+            print()
+            print(report.format_metrics_summary(get_runtime().stats))
+
+    if ns.trace:
+        spans = trace.get_tracer().spans()
+        if ns.trace.endswith(".jsonl"):
+            trace.write_jsonl(ns.trace, spans)
+        else:
+            trace.write_chrome_trace(ns.trace, spans)
+        print(f"\nwrote {len(spans)} span(s) to {ns.trace}")
+    return 0

@@ -28,10 +28,22 @@ def compile_source(source: str, options: str = "",
 
     Raises :class:`repro.errors.CompileError` subclasses on any problem,
     carrying ``line``/``col`` information like a real OpenCL build log.
+
+    Each pipeline stage runs under its own :mod:`repro.trace` span
+    (category ``clc``), so a trace of a cold HPL invocation shows where
+    the "OpenCL build" portion of Fig. 8's overhead actually goes.
     """
-    text = preprocess(source, options, filename)
-    tokens = tokenize(text, filename)
-    unit = parse(tokens, filename)
-    program = analyze(unit, filename)
+    from .. import trace
+
+    with trace.span("compile", category="clc", filename=filename,
+                    source_bytes=len(source)):
+        with trace.span("preprocess", category="clc"):
+            text = preprocess(source, options, filename)
+        with trace.span("lex", category="clc"):
+            tokens = tokenize(text, filename)
+        with trace.span("parse", category="clc", tokens=len(tokens)):
+            unit = parse(tokens, filename)
+        with trace.span("sema", category="clc"):
+            program = analyze(unit, filename)
     program.source = source
     return program

@@ -113,6 +113,12 @@ class ProfilingInfoNotAvailable(CLError):
     code = "CL_PROFILING_INFO_NOT_AVAILABLE"
 
 
+class ProfilingDisabledError(ProfilingInfoNotAvailable):
+    """Profiling info was requested from an event whose command queue was
+    created with ``profiling=False``.  Subclasses
+    :class:`ProfilingInfoNotAvailable` so existing handlers keep working."""
+
+
 class KernelLaunchError(CLError):
     """A kernel trapped at simulated run time (bad index, div by zero...)."""
 

@@ -13,6 +13,7 @@ by the library.
 
 from __future__ import annotations
 
+from .. import trace
 from ..errors import DomainError, HPLError
 from .array import Array
 from .runtime import EvalResult, HPLDevice, HPLRuntime, get_runtime
@@ -63,12 +64,20 @@ class Evaluator:
     # -- invocation ------------------------------------------------------------------
 
     def __call__(self, *args) -> EvalResult:
+        with trace.span("eval", category="hpl",
+                        func=getattr(self._func, "__name__",
+                                     repr(self._func))) as espan:
+            return self._invoke(args, espan)
+
+    def _invoke(self, args, espan) -> EvalResult:
         rt: HPLRuntime = get_runtime()
         device = self._device or rt.default_device
 
         compiled, from_cache = rt.get_compiled(self._func, args, device)
         captured = compiled.captured
         info = captured.info
+        espan.set_attrs(kernel=captured.kernel_name, device=device.name,
+                        cache="hit" if from_cache else "miss")
 
         global_size = self._global
         if global_size is None:
@@ -80,19 +89,27 @@ class Evaluator:
                 f"dimensions as the global domain {global_size}")
 
         # bind arguments, copying in only what the kernel will read
-        kernel = compiled.program.create_kernel(captured.kernel_name)
-        for index, ((name, _proxy), arg) in enumerate(
-                zip(captured.params, args)):
-            if isinstance(arg, Array):
-                arg.ensure_on_device(device, will_read=info.reads(name))
-                kernel.set_arg(index, arg.buffer_on(device))
-            else:
-                value = arg.value if hasattr(arg, "value") else arg
-                kernel.set_arg(index, value)
-        transfer_events = device.drain_transfer_events()
+        with trace.span("bind_args", category="hpl",
+                        kernel=captured.kernel_name):
+            kernel = compiled.program.create_kernel(captured.kernel_name)
+            for index, ((name, _proxy), arg) in enumerate(
+                    zip(captured.params, args)):
+                if isinstance(arg, Array):
+                    arg.ensure_on_device(device,
+                                         will_read=info.reads(name))
+                    kernel.set_arg(index, arg.buffer_on(device))
+                else:
+                    value = arg.value if hasattr(arg, "value") else arg
+                    kernel.set_arg(index, value)
+            transfer_events = device.drain_transfer_events()
 
-        event = device.queue.enqueue_nd_range_kernel(
-            kernel, global_size, local_size)
+        with trace.span("launch", category="hpl",
+                        kernel=captured.kernel_name, device=device.name,
+                        global_size=global_size,
+                        local_size=local_size) as lspan:
+            event = device.queue.enqueue_nd_range_kernel(
+                kernel, global_size, local_size)
+            lspan.set_attr("sim_kernel_seconds", event.duration)
         rt.stats.launches += 1
 
         # coherence: the device now owns every array the kernel wrote

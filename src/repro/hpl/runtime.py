@@ -22,8 +22,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .. import ocl
+from .. import ocl, trace
 from ..errors import BuildProgramFailure, HPLError, KernelCaptureError
+from ..trace import MetricsRegistry
 from . import dtypes as D
 from .analysis import KernelInfo, analyze_kernel
 from .array import Array
@@ -33,20 +34,83 @@ from .proxy import ArrayHandle, ScalarParam
 from .scalars import HostScalar
 
 
-@dataclass
-class RuntimeStats:
-    """Aggregate counters over the life of the runtime."""
+def _stat_property(key: str, cast):
+    metric = "hpl." + key
 
-    kernels_captured: int = 0
-    kernels_built: int = 0
-    cache_hits: int = 0
-    launches: int = 0
-    codegen_seconds: float = 0.0
-    build_seconds: float = 0.0
-    h2d_transfers: int = 0
-    h2d_bytes: int = 0
-    d2h_transfers: int = 0
-    d2h_bytes: int = 0
+    def fget(self):
+        return cast(self.registry.counter(metric).value)
+
+    def fset(self, value):
+        self.registry.counter(metric).set(cast(value))
+
+    return property(fget, fset, doc=f"backed by metric {metric!r}")
+
+
+class RuntimeStats:
+    """Aggregate counters over the life of the runtime.
+
+    The attribute API is unchanged from the original dataclass
+    (``stats.cache_hits += 1`` still works), but every field is now
+    backed by a counter named ``hpl.<field>`` in a
+    :class:`repro.trace.MetricsRegistry`, so the same numbers appear in
+    metric snapshots/summaries without double bookkeeping.  Each
+    :class:`HPLRuntime` owns a private registry, which is why
+    ``reset_runtime()`` still zeroes everything.
+    """
+
+    #: field name -> type, mirrored one-to-one into registry counters
+    FIELDS = {
+        "kernels_captured": int,
+        "kernels_built": int,
+        "cache_hits": int,
+        "launches": int,
+        "codegen_seconds": float,
+        "build_seconds": float,
+        "h2d_transfers": int,
+        "h2d_bytes": int,
+        "d2h_transfers": int,
+        "d2h_bytes": int,
+        "h2d_seconds": float,
+        "d2h_seconds": float,
+    }
+
+    def __init__(self, registry: MetricsRegistry | None = None, **init):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        for name in self.FIELDS:            # materialize at zero
+            self.registry.counter("hpl." + name)
+        for name, value in init.items():
+            if name not in self.FIELDS:
+                raise TypeError(f"unknown RuntimeStats field {name!r}")
+            setattr(self, name, value)
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total simulated transfer time (h2d + d2h), in seconds."""
+        return self.h2d_seconds + self.d2h_seconds
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of kernel lookups served from the binary cache."""
+        lookups = self.cache_hits + self.kernels_built
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.FIELDS}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RuntimeStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"RuntimeStats({inner})"
+
+
+for _name, _cast in RuntimeStats.FIELDS.items():
+    setattr(RuntimeStats, _name, _stat_property(_name, _cast))
+del _name, _cast
 
 
 class HPLDevice:
@@ -87,12 +151,14 @@ class HPLDevice:
         self._pending_transfers.append(event)
         self._stats.h2d_transfers += 1
         self._stats.h2d_bytes += host.nbytes
+        self._stats.h2d_seconds += event.duration
 
     def read_buffer(self, buffer: ocl.Buffer, host: np.ndarray) -> None:
         event = self.queue.enqueue_read_buffer(buffer, host)
         self._pending_transfers.append(event)
         self._stats.d2h_transfers += 1
         self._stats.d2h_bytes += host.nbytes
+        self._stats.d2h_seconds += event.duration
 
     def drain_transfer_events(self) -> list[ocl.Event]:
         events, self._pending_transfers = self._pending_transfers, []
@@ -221,10 +287,16 @@ class HPLRuntime:
         hit = self._captured.get(key)
         if hit is not None:
             return hit
-        captured = self._capture(func, args)
+        with trace.span("capture", category="hpl",
+                        func=getattr(func, "__name__", repr(func))) as sp:
+            captured = self._capture(func, args)
+            sp.set_attrs(kernel=captured.kernel_name,
+                         codegen_seconds=captured.codegen_seconds)
         self._captured[key] = captured
         self.stats.kernels_captured += 1
         self.stats.codegen_seconds += captured.codegen_seconds
+        self.stats.registry.histogram("hpl.codegen_per_kernel").observe(
+            captured.codegen_seconds)
         return captured
 
     def _capture(self, func, args) -> CapturedKernel:
@@ -309,14 +381,20 @@ class HPLRuntime:
             raise BuildProgramFailure(
                 f"kernel {captured.kernel_name!r} uses double precision, "
                 f"which {device.name} does not support")
-        t0 = time.perf_counter()
-        program = ocl.Program(device.context, captured.source).build()
-        build_seconds = time.perf_counter() - t0
+        with trace.span("build", category="hpl",
+                        kernel=captured.kernel_name,
+                        device=device.name) as sp:
+            t0 = time.perf_counter()
+            program = ocl.Program(device.context, captured.source).build()
+            build_seconds = time.perf_counter() - t0
+            sp.set_attr("build_seconds", build_seconds)
         compiled = CompiledKernel(captured=captured, program=program,
                                   build_seconds=build_seconds)
         self._compiled[key] = compiled
         self.stats.kernels_built += 1
         self.stats.build_seconds += build_seconds
+        self.stats.registry.histogram("hpl.build_per_kernel").observe(
+            build_seconds)
         return compiled, False
 
 

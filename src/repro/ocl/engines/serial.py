@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
 from ...clc.types import DOUBLE, PointerType, ScalarType
@@ -88,15 +89,18 @@ class SerialEngine:
                                      work_groups=nd.total_groups)
         ipg = nd.items_per_group
 
-        with np.errstate(all="ignore"):
-            for group in range(nd.total_groups):
-                local_mems = self._make_local_mems(kernel, args)
-                gens = []
-                for within in range(ipg):
-                    flat = group * ipg + within
-                    state = self._item_state(kernel, args, flat, local_mems)
-                    gens.append(self._exec_kernel(kernel, state))
-                self._drive_group(gens)
+        with trace.span("engine_run", category="simcl", engine=self.name,
+                        kernel=kernel_name, work_items=nd.total_items):
+            with np.errstate(all="ignore"):
+                for group in range(nd.total_groups):
+                    local_mems = self._make_local_mems(kernel, args)
+                    gens = []
+                    for within in range(ipg):
+                        flat = group * ipg + within
+                        state = self._item_state(kernel, args, flat,
+                                                 local_mems)
+                        gens.append(self._exec_kernel(kernel, state))
+                    self._drive_group(gens)
         return self.counters
 
     # -- group driving -------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ... import trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
 from ...clc.types import DOUBLE, PointerType, ScalarType
@@ -111,8 +112,10 @@ class VectorEngine:
         self.frames.append(frame)
 
         mask = np.ones(self.n, dtype=bool)
-        with np.errstate(all="ignore"):
-            self._run_block(kernel.body, mask)
+        with trace.span("engine_run", category="simcl", engine=self.name,
+                        kernel=kernel_name, work_items=self.n):
+            with np.errstate(all="ignore"):
+                self._run_block(kernel.body, mask)
         self.frames.pop()
         return self.counters
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ProfilingInfoNotAvailable
+from ..errors import ProfilingDisabledError
 from .api import command_type
 from .costmodel import CostCounters, TimeBreakdown
 
@@ -27,11 +27,17 @@ class Event:
     counters: CostCounters | None = None
     breakdown: TimeBreakdown | None = None
     _profiling_enabled: bool = field(default=True, repr=False)
+    #: name of the device whose queue produced this event (diagnostics)
+    device_name: str = field(default="", repr=False)
 
     def _check(self) -> None:
         if not self._profiling_enabled:
-            raise ProfilingInfoNotAvailable(
-                "queue was created without profiling=True")
+            where = (f"the queue on {self.device_name!r}"
+                     if self.device_name else "the queue")
+            raise ProfilingDisabledError(
+                f"profiling info requested for a "
+                f"{self.command.name} event, but {where} was created "
+                f"with profiling=False")
 
     @property
     def profile_start(self) -> int:

@@ -6,12 +6,19 @@ accounted on a per-device simulated clock: each enqueue advances the
 clock by the modelled duration and stamps the returned event with
 queued/submit/start/end times, so profiling-based measurement code works
 exactly as it would against a real driver.
+
+Every stamped command is also reported to :mod:`repro.trace` as a
+completed span on the device's simulated timeline (a no-op unless
+tracing is enabled), and transfer/launch volumes feed the global metrics
+registry — the Chrome-trace exporter renders these as one track per
+device alongside the host's wall-clock track.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .. import trace
 from ..errors import InvalidValue
 from .api import command_type
 from .buffer import Buffer
@@ -42,33 +49,47 @@ class CommandQueue:
     # -- internal ----------------------------------------------------------------
 
     def _stamp(self, command: command_type, duration: float,
-               counters=None, breakdown=None) -> Event:
+               counters=None, breakdown=None, **trace_attrs) -> Event:
         start = self.clock
         self.clock = start + duration
+        start_ns = int(start * 1e9)
+        end_ns = int(self.clock * 1e9)
+        trace.device_event(self.device.name, command.name.lower(),
+                           start_ns, end_ns, category="simcl",
+                           **trace_attrs)
         return Event(command=command,
-                     queued_ns=int(start * 1e9),
-                     submit_ns=int(start * 1e9),
-                     start_ns=int(start * 1e9),
-                     end_ns=int(self.clock * 1e9),
+                     queued_ns=start_ns,
+                     submit_ns=start_ns,
+                     start_ns=start_ns,
+                     end_ns=end_ns,
                      counters=counters, breakdown=breakdown,
-                     _profiling_enabled=self.profiling)
+                     _profiling_enabled=self.profiling,
+                     device_name=self.device.name)
 
     # -- transfers ------------------------------------------------------------------
 
     def enqueue_write_buffer(self, buffer: Buffer,
                              hostbuf: np.ndarray) -> Event:
         """Copy host memory into a device buffer."""
-        buffer.write_from(np.asarray(hostbuf))
-        duration = transfer_time(np.asarray(hostbuf).nbytes,
-                                 self.device.spec)
-        return self._stamp(command_type.WRITE_BUFFER, duration)
+        host = np.asarray(hostbuf)
+        buffer.write_from(host)
+        duration = transfer_time(host.nbytes, self.device.spec)
+        registry = trace.get_registry()
+        registry.counter("simcl.h2d_transfers").inc()
+        registry.counter("simcl.h2d_bytes").inc(host.nbytes)
+        return self._stamp(command_type.WRITE_BUFFER, duration,
+                           bytes=host.nbytes)
 
     def enqueue_read_buffer(self, buffer: Buffer,
                             hostbuf: np.ndarray) -> Event:
         """Copy a device buffer back into host memory."""
         buffer.read_into(hostbuf)
         duration = transfer_time(hostbuf.nbytes, self.device.spec)
-        return self._stamp(command_type.READ_BUFFER, duration)
+        registry = trace.get_registry()
+        registry.counter("simcl.d2h_transfers").inc()
+        registry.counter("simcl.d2h_bytes").inc(hostbuf.nbytes)
+        return self._stamp(command_type.READ_BUFFER, duration,
+                           bytes=hostbuf.nbytes)
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer,
                             nbytes: int | None = None) -> Event:
@@ -76,7 +97,8 @@ class CommandQueue:
         nbytes = min(src.size, dst.size) if nbytes is None else nbytes
         dst._data[:nbytes] = src._data[:nbytes]
         duration = nbytes / (self.device.spec.mem_bandwidth_gbs * 1e9)
-        return self._stamp(command_type.COPY_BUFFER, duration)
+        return self._stamp(command_type.COPY_BUFFER, duration,
+                           bytes=nbytes)
 
     # -- kernels ----------------------------------------------------------------------
 
@@ -84,11 +106,17 @@ class CommandQueue:
                                 local_size=None) -> Event:
         """Execute a kernel over an NDRange and account its model time."""
         args = kernel.bound_args()
-        engine = self.device.make_engine(kernel.program.ir)
-        counters = engine.run(kernel.name, args, global_size, local_size)
-        breakdown = kernel_time(counters, self.device.spec)
+        with trace.span("enqueue_kernel", category="simcl",
+                        kernel=kernel.name, device=self.device.name) as sp:
+            engine = self.device.make_engine(kernel.program.ir)
+            counters = engine.run(kernel.name, args, global_size,
+                                  local_size)
+            breakdown = kernel_time(counters, self.device.spec)
+            sp.set_attr("sim_seconds", breakdown.total)
+        trace.get_registry().counter("simcl.kernel_launches").inc()
         return self._stamp(command_type.NDRANGE_KERNEL, breakdown.total,
-                           counters=counters, breakdown=breakdown)
+                           counters=counters, breakdown=breakdown,
+                           kernel=kernel.name)
 
     def finish(self) -> None:
         """All SimCL commands are eager, so finish() is a no-op."""

@@ -1,0 +1,55 @@
+"""``python -m repro.trace`` — inspect and convert trace files.
+
+Subcommands::
+
+    summarize <trace>            print the aggregated span table
+    chrome <trace> <out.json>    convert a JSONL span log to Chrome JSON
+
+Both accept either a JSONL span log or a Chrome-trace JSON file (the
+format is sniffed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .export import read_spans, summarize, write_chrome_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.trace",
+        description="Inspect and convert repro trace files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = sub.add_parser("summarize",
+                           help="print the aggregated span table")
+    p_sum.add_argument("trace", help="JSONL span log or Chrome JSON file")
+
+    p_chrome = sub.add_parser(
+        "chrome", help="convert a span log to chrome://tracing JSON")
+    p_chrome.add_argument("trace", help="JSONL span log")
+    p_chrome.add_argument("output", help="Chrome JSON file to write")
+
+    ns = parser.parse_args(argv)
+    try:
+        spans = read_spans(ns.trace)
+    except OSError as exc:
+        print(f"error: cannot read {ns.trace}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {ns.trace} is not a trace file "
+              f"(JSONL span log or Chrome JSON): {exc}", file=sys.stderr)
+        return 2
+
+    if ns.command == "summarize":
+        print(summarize(spans))
+    else:
+        write_chrome_trace(ns.output, spans)
+        print(f"wrote {len(spans)} span(s) to {ns.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Trace exporters: Chrome ``chrome://tracing`` JSON, JSONL, summary.
+
+Chrome trace (catapult) format
+------------------------------
+:func:`chrome_trace` emits the JSON object format with complete ("X")
+events.  Wall-clock spans go on one process track ("wall clock (host)"),
+with one thread row per Python thread; each simulated device gets its
+own process track ("sim device: <name>") whose timestamps are the
+device's simulated nanoseconds (shown as microseconds, the unit catapult
+expects).  Load the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+
+JSONL
+-----
+One span per line, the flat dict of :meth:`Span.to_dict`.  This is the
+interchange format ``python -m repro.trace summarize`` consumes; it
+round-trips through :func:`read_spans`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+
+from .core import Span
+
+#: pid of the wall-clock (host) track in the Chrome trace
+WALL_PID = 1
+#: first pid handed to simulated-device tracks
+DEVICE_PID_BASE = 2
+
+
+def _json_safe(value):
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def chrome_trace(spans: list[Span]) -> dict:
+    """The catapult JSON-object form of ``spans`` (see module docs)."""
+    events: list[dict] = []
+    device_pids: dict[str, int] = {}
+    thread_tids: dict[int, int] = {}
+
+    events.append({"name": "process_name", "ph": "M", "pid": WALL_PID,
+                   "tid": 0, "args": {"name": "wall clock (host)"}})
+
+    for span in spans:
+        if span.clock == "sim":
+            device = span.device or "device"
+            pid = device_pids.get(device)
+            if pid is None:
+                pid = DEVICE_PID_BASE + len(device_pids)
+                device_pids[device] = pid
+                events.append({"name": "process_name", "ph": "M",
+                               "pid": pid, "tid": 0,
+                               "args": {"name": f"sim device: {device}"}})
+                events.append({"name": "thread_name", "ph": "M",
+                               "pid": pid, "tid": 0,
+                               "args": {"name": "simulated timeline"}})
+            tid = 0
+        else:
+            pid = WALL_PID
+            tid = thread_tids.get(span.thread_id)
+            if tid is None:
+                tid = len(thread_tids)
+                thread_tids[span.thread_id] = tid
+                events.append({"name": "thread_name", "ph": "M",
+                               "pid": pid, "tid": tid,
+                               "args": {"name": span.thread_name
+                                        or f"thread-{span.thread_id}"}})
+        args = {k: _json_safe(v) for k, v in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append({
+            "name": span.name,
+            "cat": span.category,
+            "ph": "X",
+            "ts": span.start_us,
+            "dur": span.duration_us,
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: list[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(spans), fh, indent=1)
+        fh.write("\n")
+
+
+def write_jsonl(path: str, spans: list[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for span in spans:
+            fh.write(json.dumps(_json_safe(span.to_dict())))
+            fh.write("\n")
+
+
+def read_spans(path: str) -> list[Span]:
+    """Load spans from a JSONL span log *or* a Chrome-trace JSON file."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{") and '"traceEvents"' in stripped[:200]:
+        doc = json.loads(text)
+        events = doc.get("traceEvents", [])
+        pid_names = {ev["pid"]: ev.get("args", {}).get("name", "")
+                     for ev in events
+                     if ev.get("ph") == "M"
+                     and ev.get("name") == "process_name"}
+        spans = []
+        for ev in events:
+            if ev.get("ph") != "X":
+                continue
+            pid = ev.get("pid", WALL_PID)
+            is_sim = pid != WALL_PID
+            device = None
+            if is_sim:
+                device = pid_names.get(pid, "").removeprefix(
+                    "sim device: ") or None
+            span = Span(name=ev.get("name", "?"),
+                        category=ev.get("cat", "app"),
+                        span_id=ev.get("args", {}).get("span_id", 0),
+                        parent_id=ev.get("args", {}).get("parent_id"),
+                        thread_id=ev.get("tid", 0), thread_name="",
+                        start_us=ev.get("ts", 0.0),
+                        clock="sim" if is_sim else "wall",
+                        device=device,
+                        attrs={k: v for k, v in ev.get("args", {}).items()
+                               if k not in ("span_id", "parent_id")})
+            span.end_us = span.start_us + ev.get("dur", 0.0)
+            spans.append(span)
+        return spans
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- summary table -----------------------------------------------------------
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1e6:
+        return f"{us / 1e6:.3f}s"
+    if us >= 1e3:
+        return f"{us / 1e3:.3f}ms"
+    return f"{us:.1f}us"
+
+
+def summarize(spans: list[Span]) -> str:
+    """Aggregate spans by (clock, category, name) into a readable table.
+
+    Wall-clock rows show where the host spent real time (capture,
+    codegen, build); sim rows show the modelled device timeline per
+    device (transfers, kernel executions).
+    """
+    groups: dict[tuple, list[Span]] = defaultdict(list)
+    for span in spans:
+        track = (span.device or "host") if span.clock == "sim" else "wall"
+        groups[(span.clock, track, span.category, span.name)].append(span)
+
+    header = (f"{'clock':<6}{'track':<26}{'span':<28}{'count':>6}"
+              f"{'total':>12}{'mean':>12}{'max':>12}")
+    rule = "-" * len(header)
+    out = [f"trace summary: {len(spans)} span(s)", rule, header, rule]
+    for key in sorted(groups, key=lambda k: (k[0], k[1], k[2], k[3])):
+        clock, track, category, name = key
+        batch = groups[key]
+        durations = [s.duration_us for s in batch]
+        total = sum(durations)
+        out.append(f"{clock:<6}{track[:24]:<26}"
+                   f"{(category + '.' + name)[:26]:<28}"
+                   f"{len(batch):>6}{_fmt_us(total):>12}"
+                   f"{_fmt_us(total / len(batch)):>12}"
+                   f"{_fmt_us(max(durations)):>12}")
+    if not groups:
+        out.append("(no spans)")
+    out.append(rule)
+    return "\n".join(out)

@@ -1,0 +1,75 @@
+"""The benchsuite CLI: ``--trace`` / ``--verbose`` / summarize pipeline.
+
+This is the acceptance path of the observability issue: run the EP
+benchmark under ``--trace``, then feed the output to
+``python -m repro.trace summarize`` and to the Chrome-trace validator.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.benchsuite.runner import main as bench_main
+from repro.hpl import reset_runtime
+from repro.trace.__main__ import main as trace_cli
+
+
+@pytest.fixture()
+def clean_state():
+    """Reset runtime and restore the (disabled) global tracer."""
+    old = trace.get_tracer()
+    reset_runtime()
+    yield
+    trace.set_tracer(old)
+    trace.disable()
+    reset_runtime()
+
+
+class TestBenchsuiteTraceFlag:
+    def test_ep_with_jsonl_trace_then_summarize(self, clean_state,
+                                                tmp_path, capsys):
+        out = tmp_path / "ep.jsonl"
+        assert bench_main(["ep", "--trace", str(out)]) == 0
+        assert out.exists()
+
+        spans = trace.read_spans(str(out))
+        cats = {s.category for s in spans}
+        assert {"benchsuite", "hpl", "clc", "simcl"} <= cats
+        assert any(s.clock == "sim" for s in spans)
+
+        capsys.readouterr()
+        assert trace_cli(["summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "hpl.eval" in text
+        assert "simcl.ndrange_kernel" in text
+
+    def test_ep_with_chrome_trace_is_valid_catapult(self, clean_state,
+                                                    tmp_path):
+        out = tmp_path / "ep.json"
+        assert bench_main(["ep", "--trace", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert ev["ph"] in ("X", "M")
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0
+        pids = {e["pid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert len(pids) >= 2     # wall track + at least one device track
+
+    def test_verbose_prints_metrics_summary(self, clean_state, capsys):
+        assert bench_main(["ep", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "HPL runtime metrics" in out
+        assert "kernel cache hit rate" in out
+        assert "h2d traffic" in out
+        assert "metrics registry" in out
+
+    def test_trace_flag_does_not_leak_enabled_tracer(self, clean_state,
+                                                     tmp_path):
+        bench_main(["ep", "--trace", str(tmp_path / "t.jsonl")])
+        # the CLI installed a fresh tracer; the fixture restores ours,
+        # and the module-level default must not stay hot for importers
+        assert trace.get_tracer() is not None

@@ -1,0 +1,17 @@
+"""Fixtures for the trace tests: an isolated, enabled global tracer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import trace
+
+
+@pytest.fixture()
+def tracer():
+    """A fresh enabled global tracer, restored (disabled) afterwards."""
+    old = trace.get_tracer()
+    t = trace.set_tracer(trace.Tracer(enabled=True))
+    yield t
+    trace.set_tracer(old)
+    trace.disable()

@@ -1,0 +1,201 @@
+"""Tracer core: nesting, attributes, clocks, thread safety, no-op mode."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import trace
+from repro.trace import NoopSpan, Span, Tracer
+
+
+class TestSpanBasics:
+    def test_span_records_duration(self, tracer):
+        with trace.span("work", category="test") as sp:
+            pass
+        (done,) = tracer.spans()
+        assert done is sp
+        assert done.name == "work"
+        assert done.category == "test"
+        assert done.clock == "wall"
+        assert done.end_us is not None
+        assert done.duration_us >= 0.0
+
+    def test_attributes_at_open_and_later(self, tracer):
+        with trace.span("work", category="test", a=1) as sp:
+            sp.set_attr("b", 2).set_attrs(c=3, d=4)
+        assert tracer.spans()[0].attrs == {"a": 1, "b": 2, "c": 3, "d": 4}
+
+    def test_exception_is_recorded_and_propagates(self, tracer):
+        try:
+            with trace.span("boom", category="test"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        (done,) = tracer.spans()
+        assert done.attrs["error"] == "ValueError"
+        assert done.end_us is not None
+
+    def test_to_dict_from_dict_roundtrip(self, tracer):
+        with trace.span("work", category="test", k="v"):
+            pass
+        row = tracer.spans()[0].to_dict()
+        back = Span.from_dict(row)
+        assert back.name == "work"
+        assert back.category == "test"
+        assert back.attrs == {"k": "v"}
+        assert abs(back.duration_us - row["dur_us"]) < 1e-9
+
+
+class TestNesting:
+    def test_parent_ids_follow_lexical_nesting(self, tracer):
+        with trace.span("outer", category="test") as outer:
+            assert tracer.current() is outer
+            with trace.span("inner", category="test") as inner:
+                assert tracer.current() is inner
+                with trace.span("leaf", category="test") as leaf:
+                    pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["outer"].parent_id is None
+        assert by_name["inner"].parent_id == by_name["outer"].span_id
+        assert by_name["leaf"].parent_id == by_name["inner"].span_id
+        assert by_name["leaf"] is leaf and by_name["inner"] is inner
+
+    def test_siblings_share_a_parent(self, tracer):
+        with trace.span("outer", category="test"):
+            with trace.span("a", category="test"):
+                pass
+            with trace.span("b", category="test"):
+                pass
+        by_name = {s.name: s for s in tracer.spans()}
+        assert by_name["a"].parent_id == by_name["outer"].span_id
+        assert by_name["b"].parent_id == by_name["outer"].span_id
+
+    def test_current_is_none_at_top_level(self, tracer):
+        assert tracer.current() is None
+
+
+class TestDeviceEvents:
+    def test_device_event_is_a_completed_sim_span(self, tracer):
+        with trace.span("host", category="test"):
+            sp = trace.device_event("GPU0", "kernel", 1_000, 4_000,
+                                    category="simcl", k=1)
+        assert sp.clock == "sim"
+        assert sp.device == "GPU0"
+        assert sp.start_us == 1.0 and sp.end_us == 4.0
+        host = [s for s in tracer.spans() if s.name == "host"][0]
+        assert sp.parent_id == host.span_id
+
+
+class TestThreadSafety:
+    def test_per_thread_context_stacks(self, tracer):
+        n_threads, n_spans = 8, 50
+        errors: list[str] = []
+
+        def worker(tid: int) -> None:
+            for i in range(n_spans):
+                with trace.span(f"outer-{tid}", category="test") as outer:
+                    with trace.span(f"inner-{tid}", category="test") as sp:
+                        if tracer.current() is not sp:
+                            errors.append("current() leaked across threads")
+                        if sp.parent_id != outer.span_id:
+                            errors.append("parent from another thread")
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        spans = tracer.spans()
+        assert len(spans) == n_threads * n_spans * 2
+        # every inner span's parent must be an outer span of the same thread
+        by_id = {s.span_id: s for s in spans}
+        for s in spans:
+            if s.name.startswith("inner"):
+                parent = by_id[s.parent_id]
+                assert parent.thread_id == s.thread_id
+
+    def test_span_ids_are_unique(self, tracer):
+        def worker() -> None:
+            for _ in range(100):
+                with trace.span("s", category="test"):
+                    pass
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        ids = [s.span_id for s in tracer.spans()]
+        assert len(ids) == len(set(ids)) == 400
+
+
+class TestDisabled:
+    def test_disabled_span_is_shared_noop(self):
+        trace.disable()
+        cm = trace.span("x", category="test")
+        assert cm is trace.NOOP_SPAN
+        with cm as sp:
+            assert isinstance(sp, NoopSpan)
+            sp.set_attr("a", 1).set_attrs(b=2)   # all no-ops
+        assert trace.device_event("d", "n", 0, 1) is None
+        assert trace.current_span() is None
+
+    def test_spans_opened_while_disabled_are_not_recorded(self, tracer):
+        tracer.enabled = False
+        with trace.span("x", category="test"):
+            pass
+        assert len(tracer.spans()) == 0
+
+    def test_enable_disable_toggles_global(self):
+        old = trace.get_tracer()
+        try:
+            t = trace.enable(fresh=True)
+            assert trace.is_enabled()
+            assert trace.get_tracer() is t
+            trace.disable()
+            assert not trace.is_enabled()
+        finally:
+            trace.set_tracer(old)
+
+
+class TestTracedDecorator:
+    def test_traced_with_name(self, tracer):
+        @trace.traced("custom", category="test")
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+        (done,) = tracer.spans()
+        assert done.name == "custom"
+
+    def test_traced_bare(self, tracer):
+        @trace.traced
+        def g():
+            return 7
+
+        assert g() == 7
+        assert tracer.spans()[0].name == "g"
+
+    def test_traced_no_overhead_path_when_disabled(self):
+        trace.disable()
+
+        @trace.traced("n", category="test")
+        def h():
+            return 1
+
+        assert h() == 1
+
+
+class TestTracerHousekeeping:
+    def test_clear_and_len(self, tracer):
+        with trace.span("a", category="test"):
+            pass
+        assert len(tracer) == 1
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_repr(self):
+        t = Tracer(enabled=True)
+        assert "enabled" in repr(t)
