@@ -148,7 +148,8 @@ def run_hpl(problem: Problem, device_name: str = "Tesla") -> BenchRun:
             counters.merge(result.kernel_event.counters)
 
     out = dist.read().reshape(n, n).copy()
-    transfer += sum(e.duration for e in device.drain_transfer_events())
+    if dist.host_event is not None:
+        transfer += dist.host_event.duration
     paper_seconds = extrapolated_seconds(
         counters, device.queue.device.spec,
         problem.params["cell_factor"] * problem.params["launch_factor"],

@@ -32,6 +32,26 @@ def format_metrics_summary(stats) -> str:
     return "\n".join(out)
 
 
+def format_cluster(row: dict) -> str:
+    """Render the multi-device overlap measurement (cluster target)."""
+    out = [f"Cluster overlap: {row['reps']} async rounds of a "
+           f"{row['n']}-element partitioned kernel on "
+           f"{len(row['devices'])} device(s)", _rule()]
+    for name, busy in row["busy_seconds"].items():
+        out.append(f"{name:<44}{busy:>14.6f}s busy")
+    out += [_rule(),
+            f"{'serialized (sum of device busy time)':<44}"
+            f"{row['serialized_seconds']:>14.6f}s",
+            f"{'makespan (event-graph deferred mode)':<44}"
+            f"{row['makespan_seconds']:>14.6f}s",
+            f"{'timeline compression':<44}"
+            f"{row['overlap_factor']:>13.2f}x",
+            f"{'deferred == eager results':<44}"
+            f"{str(row['results_identical']):>14}",
+            _rule()]
+    return "\n".join(out)
+
+
 def format_table1(rows: list[dict]) -> str:
     """Render Table I (SLOC comparison)."""
     out = ["Table I: SLOCs for the OpenCL and HPL versions of the "

@@ -150,7 +150,7 @@ def run_hpl(problem: Problem, device_name: str = "Tesla") -> BenchRun:
         .local_(M_THREADS).device(device)(A, vec, cols, rowptr, out)
 
     out_host = out.read().copy()
-    readback = sum(e.duration for e in device.drain_transfer_events())
+    readback = out.host_event.duration if out.host_event else 0.0
     wf = problem.params["work_factor"]
     return BenchRun(
         benchmark="spmv", variant="hpl", device=device.name,

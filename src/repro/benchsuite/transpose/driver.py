@@ -117,7 +117,7 @@ def run_hpl(problem: Problem, device_name: str = "Tesla") -> BenchRun:
         .local_(BLOCK, BLOCK).device(device)(dst, src, HInt(n), HInt(n))
 
     out = dst.read().reshape(n, n).copy()
-    readback = sum(e.duration for e in device.drain_transfer_events())
+    readback = dst.host_event.duration if dst.host_event else 0.0
     wf = problem.params["work_factor"]
     return BenchRun(
         benchmark="transpose", variant="hpl", device=device.name,

@@ -23,6 +23,8 @@ invocation interface (§III-C).
 from .analysis import KernelInfo, analyze_kernel
 from .array import Array
 from .builder import KernelBuilder
+from .cluster import (Cluster, ClusterTimeline, DistributedArray,
+                      cluster_eval, timeline_of)
 from .codegen import generate_source
 from .control import (break_, continue_, elif_, else_, endfor_, endif_,
                       endwhile_, for_, if_, return_, while_)
@@ -68,6 +70,9 @@ __all__ = [
     "eval", "eval_", "Evaluator", "get_devices", "get_device",
     "get_runtime", "reset_runtime", "EvalResult", "HPLDevice",
     "HPLRuntime", "RuntimeStats",
+    # multi-device cluster extension
+    "Cluster", "ClusterTimeline", "DistributedArray", "cluster_eval",
+    "timeline_of",
     # capture internals useful for tooling/tests
     "KernelBuilder", "KernelInfo", "analyze_kernel", "generate_source",
 ]

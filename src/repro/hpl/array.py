@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..errors import HPLError, KernelCaptureError
+from ..errors import CoherenceError, HPLError, KernelCaptureError
 from . import dtypes as D
 from . import kast as K
 from .builder import KernelBuilder
@@ -98,6 +98,11 @@ class Array:
         self._host_valid = True
         self._device_valid: dict = {}    # HPLDevice -> bool
         self._buffers: dict = {}         # HPLDevice -> ocl.Buffer
+        # event threading: the command that produced each current copy
+        self._device_event: dict = {}    # HPLDevice -> ocl.Event
+        #: event of the d2h copy that produced the current host contents
+        #: (None when the host copy came from host-side writes)
+        self.host_event = None
 
     # -- geometry -----------------------------------------------------------------
 
@@ -181,14 +186,56 @@ class Array:
 
     # -- coherence (driven by the HPL runtime) ------------------------------------------
 
-    def _sync_host(self) -> None:
+    @staticmethod
+    def _live_devices():
+        """Devices of the current runtime, or None when no runtime exists
+        (``reset_runtime()`` was called and nothing re-created one)."""
+        from .runtime import HPLRuntime
+        rt = HPLRuntime._instance
+        return None if rt is None else set(rt.devices)
+
+    def _purge_dead_devices(self) -> None:
+        """Drop buffers keyed by devices of a reset runtime.
+
+        A copy that is both valid and the array's *only* valid copy is
+        kept, so :meth:`_sync_host` can raise a clear error instead of a
+        silent "no valid copy anywhere"."""
+        live = self._live_devices()
+        dead = [dev for dev in self._buffers
+                if live is None or dev not in live]
+        for dev in dead:
+            if self._host_valid or not self._device_valid.get(dev):
+                self._buffers.pop(dev, None)
+                self._device_valid.pop(dev, None)
+                self._device_event.pop(dev, None)
+
+    def _sync_host(self):
+        """Bring the host copy up to date; returns the d2h event if one
+        was needed (already complete), else None."""
         if self._host_valid:
-            return
+            return None
+        live = self._live_devices()
+        stale = []
         for dev, ok in self._device_valid.items():
-            if ok:
-                dev.read_buffer(self._buffers[dev], self._host)
-                self._host_valid = True
-                return
+            if not ok:
+                continue
+            if live is None or dev not in live:
+                stale.append(dev)
+                continue
+            producer = self._device_event.get(dev)
+            event = dev.read_buffer(
+                self._buffers[dev], self._host,
+                wait_for=[producer] if producer is not None else None)
+            event.wait()     # host code touches the data right after
+            self._host_valid = True
+            self.host_event = event
+            return event
+        if stale:
+            raise CoherenceError(
+                f"the freshest copy of {self._label()} lives on "
+                f"{', '.join(d.name for d in stale)} of a runtime that "
+                "was reset; its contents are unrecoverable.  Sync arrays "
+                "to the host (e.g. via read()) before reset_runtime()")
         raise HPLError(
             f"{self._label()} has no valid copy anywhere (internal "
             "coherence error)")
@@ -196,24 +243,50 @@ class Array:
     def _invalidate_devices(self) -> None:
         for dev in self._device_valid:
             self._device_valid[dev] = False
+        self._device_event.clear()
+        self.host_event = None
 
-    def ensure_on_device(self, dev, *, will_read: bool) -> None:
+    def ensure_on_device(self, dev, *, will_read: bool):
         """Make sure a buffer exists on ``dev``; copy data only if the
-        kernel will read this argument and the device copy is stale."""
+        kernel will read this argument and the device copy is stale.
+
+        Returns the h2d event when a copy was enqueued, else None.  The
+        copy waits on the d2h event that produced the host contents (if
+        any), so cross-device movement is ordered on the event graph,
+        not by host-loop side effects.
+        """
+        self._purge_dead_devices()
         if dev not in self._buffers:
             self._buffers[dev] = dev.create_buffer(self.nbytes)
             self._device_valid[dev] = False
         if will_read and not self._device_valid[dev]:
             self._sync_host()
-            dev.write_buffer(self._buffers[dev], self._host)
+            deps = [self.host_event] if self.host_event is not None \
+                else None
+            event = dev.write_buffer(self._buffers[dev], self._host,
+                                     wait_for=deps)
             self._device_valid[dev] = True
+            self._device_event[dev] = event
+            return event
+        return None
 
-    def mark_written_on(self, dev) -> None:
-        """After a kernel wrote this array on ``dev``."""
+    def mark_written_on(self, dev, event=None) -> None:
+        """After a kernel wrote this array on ``dev``.
+
+        ``event`` is the kernel's event; recording it lets later
+        transfers and launches depend on the write explicitly.
+        """
         for d in self._device_valid:
             self._device_valid[d] = d is dev
         self._device_valid[dev] = True
         self._host_valid = False
+        self.host_event = None
+        if event is not None:
+            self._device_event[dev] = event
+
+    def device_event_on(self, dev):
+        """The event that produced the copy on ``dev``, if recorded."""
+        return self._device_event.get(dev)
 
     def buffer_on(self, dev):
         return self._buffers[dev]

@@ -22,6 +22,8 @@ one-host multi-GPU OpenCL program moves data.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
 
 from ..errors import DomainError, HPLError
@@ -117,7 +119,39 @@ class DistributedArray:
                 f"{len(self.cluster)} device(s)>")
 
 
-def cluster_eval(kernel, cluster: Cluster, *args):
+def _local_args(args, dist_args, rank: int) -> list:
+    """Per-rank argument list: partitions swapped in, offset/count added."""
+    lo, hi = dist_args[0].bounds[rank]
+    local = []
+    for a in args:
+        if isinstance(a, DistributedArray):
+            local.append(a.parts[rank])
+        else:
+            local.append(a)
+    local.append(Int(lo))
+    local.append(Int(hi - lo))
+    return local
+
+
+def _check_broadcast_writes(kernel, args, local_args) -> None:
+    """Reject kernels that write a broadcast plain :class:`Array`.
+
+    Each rank writing its own copy would invalidate the other ranks'
+    copies mid-loop, making the final contents depend on rank order —
+    an error, not a race the user should debug.
+    """
+    captured = get_runtime().get_captured(kernel, local_args)
+    for (name, _proxy), arg in zip(captured.params, args):
+        if isinstance(arg, Array) and captured.info.writes(name):
+            raise HPLError(
+                f"kernel {captured.kernel_name!r} writes its broadcast "
+                f"Array argument {name!r}; every device would invalidate "
+                "the other devices' copies, leaving the result dependent "
+                "on execution order.  Partition it as a DistributedArray "
+                "(or make the kernel read-only on it) instead")
+
+
+def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
     """Evaluate ``kernel`` once per partition, owner-computes style.
 
     ``kernel`` is an ordinary HPL kernel function whose **last two
@@ -125,9 +159,20 @@ def cluster_eval(kernel, cluster: Cluster, *args):
     index) and ``count`` (Int: partition length); each
     :class:`DistributedArray` argument is replaced by the device-local
     partition, while plain Arrays and scalars are broadcast to every
-    device (each device keeps its own coherent copy).
+    device (each device keeps its own coherent copy).  Broadcast plain
+    Arrays must be read-only in the kernel (an :class:`HPLError` is
+    raised otherwise).
 
-    Returns the list of per-partition :class:`EvalResult` objects.
+    With ``deferred=True`` (the default) every device's queue records
+    its partition's transfers and launch as an event graph, all
+    partitions are launched asynchronously, and a single barrier at the
+    end executes them dependency-ordered — so the per-device simulated
+    timelines overlap instead of serializing with the host loop.
+    ``deferred=False`` runs eagerly; the numerical results are
+    identical either way.
+
+    Returns the list of per-partition :class:`EvalResult` objects (all
+    complete by return).
     """
     dist_args = [a for a in args if isinstance(a, DistributedArray)]
     if not dist_args:
@@ -137,19 +182,67 @@ def cluster_eval(kernel, cluster: Cluster, *args):
         if a.n != n or a.cluster is not cluster:
             raise HPLError("all DistributedArrays must share the same "
                            "size and cluster")
+    _check_broadcast_writes(kernel, args,
+                            _local_args(args, dist_args, 0))
 
-    results = []
-    for rank, device in enumerate(cluster.devices):
-        lo, hi = dist_args[0].bounds[rank]
-        local_args = []
-        for a in args:
-            if isinstance(a, DistributedArray):
-                local_args.append(a.parts[rank])
-            else:
-                local_args.append(a)
-        local_args.append(Int(lo))
-        local_args.append(Int(hi - lo))
-        result = hpl_eval(kernel).global_(hi - lo).device(device) \
-            (*local_args)
-        results.append(result)
+    devices = cluster.devices
+    previous = [d.deferred for d in devices]
+    if deferred:
+        for d in devices:
+            d.set_deferred(True)
+    try:
+        results = []
+        for rank, device in enumerate(devices):
+            lo, hi = dist_args[0].bounds[rank]
+            result = hpl_eval(kernel).global_(hi - lo).device(device) \
+                (*_local_args(args, dist_args, rank))
+            results.append(result)
+        # single barrier: drive every device's event graph to completion
+        for result in results:
+            result.wait()
+    finally:
+        for device, was_deferred in zip(devices, previous):
+            device.set_deferred(was_deferred)
     return results
+
+
+@dataclass
+class ClusterTimeline:
+    """Simulated-time shape of one multi-device run (see
+    :func:`timeline_of`)."""
+
+    #: wall-clock span on the simulated timeline: latest event end minus
+    #: earliest event start, across every device involved
+    makespan_seconds: float
+    #: per-device busy time (sum of that device's event durations)
+    busy_seconds: dict
+    #: what the same work would take with the devices serialized
+    serialized_seconds: float = field(init=False)
+    #: serialized / makespan — ~N on N equally-loaded devices
+    overlap_factor: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.serialized_seconds = sum(self.busy_seconds.values())
+        self.overlap_factor = (self.serialized_seconds
+                               / self.makespan_seconds
+                               if self.makespan_seconds > 0 else 1.0)
+
+
+def timeline_of(results) -> ClusterTimeline:
+    """Measure the overlap of a list of (completed) EvalResults.
+
+    The events of each result carry simulated start/end stamps on their
+    device's timeline; the makespan spans all of them, while the
+    serialized time is what a one-device-at-a-time host loop would pay.
+    """
+    events = [e for r in results for e in r.events]
+    if not events:
+        raise HPLError("timeline_of needs at least one event")
+    start = min(e.profile_start for e in events)
+    end = max(e.profile_end for e in events)
+    busy: dict = {}
+    for event in events:
+        busy[event.device_name] = busy.get(event.device_name, 0.0) \
+            + event.duration
+    return ClusterTimeline(makespan_seconds=(end - start) * 1e-9,
+                           busy_seconds=busy)

@@ -83,43 +83,67 @@ class Evaluator:
         if global_size is None:
             global_size = self._default_global(args, captured)
         local_size = self._local
-        if local_size is not None and len(local_size) != len(global_size):
-            raise DomainError(
-                f"local domain {local_size} must have the same number of "
-                f"dimensions as the global domain {global_size}")
+        if local_size is not None:
+            if len(local_size) != len(global_size):
+                raise DomainError(
+                    f"local domain {local_size} must have the same "
+                    f"number of dimensions as the global domain "
+                    f"{global_size}")
+            for g, loc in zip(global_size, local_size):
+                if g % loc:
+                    raise DomainError(
+                        f"local domain {local_size} does not divide the "
+                        f"global domain {global_size} of kernel "
+                        f"{captured.kernel_name!r} (dimension of size "
+                        f"{g} is not a multiple of {loc})")
 
-        # bind arguments, copying in only what the kernel will read
+        # bind arguments, copying in only what the kernel will read;
+        # each transfer event is tied to the argument that caused it,
+        # and the launch waits on every argument's producing event
+        transfers: list = []
+        dep_events: list = []
         with trace.span("bind_args", category="hpl",
                         kernel=captured.kernel_name):
             kernel = compiled.program.create_kernel(captured.kernel_name)
             for index, ((name, _proxy), arg) in enumerate(
                     zip(captured.params, args)):
                 if isinstance(arg, Array):
-                    arg.ensure_on_device(device,
-                                         will_read=info.reads(name))
+                    h2d = arg.ensure_on_device(device,
+                                               will_read=info.reads(name))
                     kernel.set_arg(index, arg.buffer_on(device))
+                    if h2d is not None:
+                        transfers.append((name, h2d))
+                        dep_events.append(h2d)
+                    else:
+                        producer = arg.device_event_on(device)
+                        if producer is not None \
+                                and producer not in dep_events:
+                            dep_events.append(producer)
                 else:
                     value = arg.value if hasattr(arg, "value") else arg
                     kernel.set_arg(index, value)
-            transfer_events = device.drain_transfer_events()
 
         with trace.span("launch", category="hpl",
                         kernel=captured.kernel_name, device=device.name,
                         global_size=global_size,
                         local_size=local_size) as lspan:
             event = device.queue.enqueue_nd_range_kernel(
-                kernel, global_size, local_size)
-            lspan.set_attr("sim_kernel_seconds", event.duration)
+                kernel, global_size, local_size,
+                wait_for=dep_events or None)
+            if event.is_complete:
+                lspan.set_attr("sim_kernel_seconds", event.duration)
         rt.stats.launches += 1
 
-        # coherence: the device now owns every array the kernel wrote
+        # coherence: the device now owns every array the kernel wrote,
+        # and the kernel event is recorded as its producing event
         for (name, _proxy), arg in zip(captured.params, args):
             if isinstance(arg, Array) and info.writes(name):
-                arg.mark_written_on(device)
+                arg.mark_written_on(device, event)
 
         return EvalResult(
             kernel_event=event,
-            transfer_events=transfer_events,
+            transfer_events=[e for _n, e in transfers],
+            transfers=transfers,
             codegen_seconds=0.0 if from_cache else captured.codegen_seconds,
             build_seconds=0.0 if from_cache else compiled.build_seconds,
             from_cache=from_cache,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import inspect
 import time
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -121,7 +122,6 @@ class HPLDevice:
         self.context = ocl.Context([ocl_device])
         self.queue = ocl.CommandQueue(self.context, ocl_device)
         self._stats = stats
-        self._pending_transfers: list[ocl.Event] = []
 
     # -- info --------------------------------------------------------------------
 
@@ -146,23 +146,63 @@ class HPLDevice:
         return ocl.Buffer(self.context, ocl.mem_flags.READ_WRITE,
                           size=nbytes)
 
-    def write_buffer(self, buffer: ocl.Buffer, host: np.ndarray) -> None:
-        event = self.queue.enqueue_write_buffer(buffer, host)
-        self._pending_transfers.append(event)
-        self._stats.h2d_transfers += 1
-        self._stats.h2d_bytes += host.nbytes
-        self._stats.h2d_seconds += event.duration
+    def write_buffer(self, buffer: ocl.Buffer, host: np.ndarray,
+                     wait_for=None) -> ocl.Event:
+        """Enqueue an h2d copy; returns its event (QUEUED if deferred).
 
-    def read_buffer(self, buffer: ocl.Buffer, host: np.ndarray) -> None:
-        event = self.queue.enqueue_read_buffer(buffer, host)
-        self._pending_transfers.append(event)
-        self._stats.d2h_transfers += 1
-        self._stats.d2h_bytes += host.nbytes
-        self._stats.d2h_seconds += event.duration
+        Stats are credited when the command actually completes, so
+        deferred transfers still land in the right counters.
+        """
+        event = self.queue.enqueue_write_buffer(buffer, host,
+                                                wait_for=wait_for)
+        nbytes = host.nbytes
+        stats = self._stats
 
-    def drain_transfer_events(self) -> list[ocl.Event]:
-        events, self._pending_transfers = self._pending_transfers, []
-        return events
+        def account(ev):
+            stats.h2d_transfers += 1
+            stats.h2d_bytes += nbytes
+            stats.h2d_seconds += ev.duration
+
+        event.add_callback(account)
+        return event
+
+    def read_buffer(self, buffer: ocl.Buffer, host: np.ndarray,
+                    wait_for=None) -> ocl.Event:
+        """Enqueue a d2h copy; returns its event (QUEUED if deferred)."""
+        event = self.queue.enqueue_read_buffer(buffer, host,
+                                               wait_for=wait_for)
+        nbytes = host.nbytes
+        stats = self._stats
+
+        def account(ev):
+            stats.d2h_transfers += 1
+            stats.d2h_bytes += nbytes
+            stats.d2h_seconds += ev.duration
+
+        event.add_callback(account)
+        return event
+
+    # -- execution mode ------------------------------------------------------------
+
+    @property
+    def deferred(self) -> bool:
+        """Whether this device's queue records instead of executing."""
+        return self.queue.deferred
+
+    def set_deferred(self, flag: bool) -> None:
+        """Switch between eager and deferred execution.
+
+        Leaving deferred mode first flushes everything recorded, so no
+        command is ever silently dropped.
+        """
+        flag = bool(flag)
+        if not flag and self.queue.deferred:
+            self.queue.finish()
+        self.queue.deferred = flag
+
+    def finish(self) -> None:
+        """Execute and complete everything enqueued on this device."""
+        self.queue.finish()
 
 
 @dataclass
@@ -193,16 +233,40 @@ class EvalResult:
     Simulated device time lives in the events; wall-clock HPL overhead
     (capture/codegen and OpenCL build) is recorded for the invocation
     that actually paid it (cold start), matching §V-B methodology.
+
+    Events are threaded explicitly: ``transfers`` names, for each h2d
+    copy this eval itself caused, the kernel parameter it fed — so
+    transfer accounting is per-eval by construction, and host-triggered
+    reads between evals can never be billed here.  On a deferred device
+    the events may still be QUEUED; :meth:`wait` drives them (and the
+    kernel) to completion.
     """
 
     kernel_event: ocl.Event
     transfer_events: list = field(default_factory=list)
+    #: (kernel parameter name, h2d event) pairs, same events as above
+    transfers: list = field(default_factory=list)
     codegen_seconds: float = 0.0
     build_seconds: float = 0.0
     from_cache: bool = True
     device: HPLDevice | None = None
     source: str = ""
     kernel_name: str = ""
+
+    @property
+    def events(self) -> list:
+        """Every event this eval enqueued, transfers then the kernel."""
+        return [*self.transfer_events, self.kernel_event]
+
+    @property
+    def complete(self) -> bool:
+        return all(e.is_complete for e in self.events)
+
+    def wait(self) -> "EvalResult":
+        """Drive this eval's commands to completion (deferred mode)."""
+        for event in self.events:
+            event.wait()
+        return self
 
     @property
     def kernel_seconds(self) -> float:
@@ -232,9 +296,9 @@ class HPLRuntime:
                         for d in platform.get_devices()]
         if not self.devices:
             raise HPLError("no devices available")
-        #: (func, signature) -> CapturedKernel
+        #: (func key, signature) -> CapturedKernel
         self._captured: dict = {}
-        #: (func, signature, device) -> CompiledKernel
+        #: (func key, signature, device) -> CompiledKernel
         self._compiled: dict = {}
 
     # -- singleton management ---------------------------------------------------------
@@ -268,10 +332,74 @@ class HPLRuntime:
         raise HPLError(f"no device matching {fragment!r}; have: "
                        + ", ".join(d.name for d in self.devices))
 
+    # -- cache keys --------------------------------------------------------------------------
+
+    #: closure-cell values that may participate in a cache key by value;
+    #: anything else falls back to identity (weak) keying, since HPL
+    #: cannot tell whether the object influences the traced source
+    _VALUE_TYPES = (int, float, complex, bool, str, bytes, frozenset,
+                    type(None))
+
+    @classmethod
+    def _cell_signature(cls, value):
+        """A hashable by-value stand-in for one closure cell, or None."""
+        if isinstance(value, cls._VALUE_TYPES):
+            return (type(value).__name__, value)
+        if isinstance(value, tuple):
+            parts = tuple(cls._cell_signature(v) for v in value)
+            return None if None in parts else ("tuple", parts)
+        return None
+
+    def _func_key(self, func):
+        """A cache key for the kernel function itself.
+
+        Per-call lambdas and closures share one key as long as they
+        share a code object and capture only plain values, so kernels
+        built in a loop hit the cache instead of growing it without
+        bound.  Functions whose closures capture arbitrary objects (or
+        bound methods, whose ``self`` shapes the trace) are keyed by
+        identity through a weak reference, so the cache entry dies with
+        the function instead of pinning it forever.
+        """
+        code = getattr(func, "__code__", None)
+        if code is not None and getattr(func, "__self__", None) is None:
+            cells = []
+            for cell in getattr(func, "__closure__", None) or ():
+                try:
+                    sig = self._cell_signature(cell.cell_contents)
+                except ValueError:          # empty cell
+                    sig = None
+                if sig is None:
+                    break
+                cells.append(sig)
+            else:
+                return (code, tuple(cells))
+        try:
+            return weakref.ref(func, self._purge_func)
+        except TypeError:
+            return func                     # not weak-referenceable
+
+    def _purge_func(self, ref) -> None:
+        """Weakref callback: drop cache entries of a collected kernel."""
+        self._captured = {k: v for k, v in self._captured.items()
+                          if k[0] is not ref}
+        self._compiled = {k: v for k, v in self._compiled.items()
+                          if k[0] is not ref}
+        self._update_cache_gauge()
+
+    def _update_cache_gauge(self) -> None:
+        self.stats.registry.gauge("hpl.cache_entries").set(
+            len(self._captured) + len(self._compiled))
+
+    @property
+    def cache_entries(self) -> int:
+        """Total captured + compiled cache entries (also a gauge)."""
+        return len(self._captured) + len(self._compiled)
+
     # -- capture -----------------------------------------------------------------------------
 
     @staticmethod
-    def signature_of(func, args) -> tuple:
+    def arg_signature(args) -> tuple:
         parts = []
         for arg in args:
             if isinstance(arg, Array):
@@ -280,7 +408,10 @@ class HPLRuntime:
                 parts.append(("s", arg.dtype.name))
             else:
                 parts.append(("s", D.infer_scalar_type(arg).name))
-        return (func, tuple(parts))
+        return tuple(parts)
+
+    def signature_of(self, func, args) -> tuple:
+        return (self._func_key(func), self.arg_signature(args))
 
     def get_captured(self, func, args) -> CapturedKernel:
         key = self.signature_of(func, args)
@@ -293,6 +424,7 @@ class HPLRuntime:
             sp.set_attrs(kernel=captured.kernel_name,
                          codegen_seconds=captured.codegen_seconds)
         self._captured[key] = captured
+        self._update_cache_gauge()
         self.stats.kernels_captured += 1
         self.stats.codegen_seconds += captured.codegen_seconds
         self.stats.registry.histogram("hpl.codegen_per_kernel").observe(
@@ -391,6 +523,7 @@ class HPLRuntime:
         compiled = CompiledKernel(captured=captured, program=program,
                                   build_seconds=build_seconds)
         self._compiled[key] = compiled
+        self._update_cache_gauge()
         self.stats.kernels_built += 1
         self.stats.build_seconds += build_seconds
         self.stats.registry.histogram("hpl.build_per_kernel").observe(

@@ -12,15 +12,16 @@ execution.  See DESIGN.md for why this substrate preserves the behaviours
 the paper's evaluation depends on.
 """
 
-from .api import (CLK_GLOBAL_MEM_FENCE, CLK_LOCAL_MEM_FENCE, command_type,
-                  device_type, mem_flags)
+from .api import (CLK_GLOBAL_MEM_FENCE, CLK_LOCAL_MEM_FENCE,
+                  command_status, command_type, device_type, mem_flags,
+                  queue_properties)
 from .buffer import Buffer, LocalMemory
 from .context import Context
 from .costmodel import CostCounters, TimeBreakdown, kernel_time, transfer_time
 from .device import Device
 from .devicedb import (DEFAULT_DEVICES, QUADRO_FX380, TESLA_C2050,
                        XEON_HOST, XEON_SERIAL, DeviceSpec, spec_by_name)
-from .event import Event
+from .event import Event, wait_for_events
 from .kernel_obj import Kernel
 from .platform import (Platform, get_platforms, reset_platform_devices,
                        set_platform_devices)
@@ -30,7 +31,9 @@ from .queue import CommandQueue
 __all__ = [
     "get_platforms", "Platform", "Device", "Context", "CommandQueue",
     "Buffer", "LocalMemory", "Program", "Kernel", "Event",
-    "mem_flags", "device_type", "command_type",
+    "wait_for_events",
+    "mem_flags", "device_type", "command_type", "command_status",
+    "queue_properties",
     "CLK_LOCAL_MEM_FENCE", "CLK_GLOBAL_MEM_FENCE",
     "DeviceSpec", "TESLA_C2050", "QUADRO_FX380", "XEON_HOST", "XEON_SERIAL",
     "DEFAULT_DEVICES", "spec_by_name", "set_platform_devices",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from enum import IntFlag
+from enum import IntEnum, IntFlag
 
 
 class mem_flags(IntFlag):
@@ -33,6 +33,28 @@ class command_type(IntFlag):
     READ_BUFFER = 1 << 1
     WRITE_BUFFER = 1 << 2
     COPY_BUFFER = 1 << 3
+    MARKER = 1 << 4
+
+
+class command_status(IntEnum):
+    """``cl_int`` execution status of a command, as events report it.
+
+    Mirrors ``CL_QUEUED``/``CL_SUBMITTED``/``CL_RUNNING``/``CL_COMPLETE``
+    (3/2/1/0) so comparisons like ``status <= command_status.RUNNING``
+    mean "at least running", exactly as with the real constants.
+    """
+
+    COMPLETE = 0
+    RUNNING = 1
+    SUBMITTED = 2
+    QUEUED = 3
+
+
+class queue_properties(IntFlag):
+    """``cl_command_queue_properties`` bits SimCL understands."""
+
+    OUT_OF_ORDER_EXEC_MODE_ENABLE = 1 << 0
+    PROFILING_ENABLE = 1 << 1
 
 
 #: barrier() flag bits (match the values sema gives the CLK_* constants)

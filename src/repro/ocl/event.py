@@ -1,17 +1,23 @@
-"""Events with (simulated-time) profiling information."""
+"""Events: command status, dependencies and (simulated-time) profiling."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ProfilingDisabledError
-from .api import command_type
+from ..errors import ProfilingDisabledError, ProfilingInfoNotAvailable
+from .api import command_status, command_type
 from .costmodel import CostCounters, TimeBreakdown
 
 
 @dataclass
 class Event:
-    """Returned by every enqueue; carries simulated profiling info.
+    """Returned by every enqueue; carries status and simulated profiling.
+
+    Events follow the OpenCL lifecycle ``QUEUED -> SUBMITTED -> RUNNING
+    -> COMPLETE``.  On an eager queue every event is born COMPLETE (the
+    command ran inside the enqueue call); on a deferred queue the event
+    stays QUEUED until the queue flushes, the event is waited on, or a
+    dependent command needs it.
 
     Times are in nanoseconds on the device's simulated timeline, mirroring
     ``clGetEventProfilingInfo``.  Kernel events additionally expose the
@@ -26,9 +32,16 @@ class Event:
     end_ns: int = 0
     counters: CostCounters | None = None
     breakdown: TimeBreakdown | None = None
+    status: command_status = command_status.COMPLETE
+    #: events this command waited on (its incoming DAG edges)
+    wait_list: tuple = ()
     _profiling_enabled: bool = field(default=True, repr=False)
     #: name of the device whose queue produced this event (diagnostics)
     device_name: str = field(default="", repr=False)
+    #: owning queue, set for deferred commands so wait() can drive them
+    _queue: object = field(default=None, repr=False, compare=False)
+    _callbacks: list = field(default_factory=list, repr=False,
+                             compare=False)
 
     def _check(self) -> None:
         if not self._profiling_enabled:
@@ -38,6 +51,15 @@ class Event:
                 f"profiling info requested for a "
                 f"{self.command.name} event, but {where} was created "
                 f"with profiling=False")
+        if self.status is not command_status.COMPLETE:
+            raise ProfilingInfoNotAvailable(
+                f"{self.command.name} event is {self.status.name}, not "
+                f"COMPLETE; call wait() (or flush the queue) before "
+                f"reading profiling info")
+
+    @property
+    def is_complete(self) -> bool:
+        return self.status is command_status.COMPLETE
 
     @property
     def profile_start(self) -> int:
@@ -59,6 +81,42 @@ class Event:
         """Simulated duration in seconds."""
         return self.duration_ns * 1e-9
 
-    def wait(self) -> "Event":
-        """Commands execute eagerly in SimCL; wait() is a no-op."""
+    # -- completion ---------------------------------------------------------
+
+    def add_callback(self, fn) -> "Event":
+        """Call ``fn(event)`` when the event completes.
+
+        Mirrors ``clSetEventCallback(CL_COMPLETE)``; if the event has
+        already completed the callback fires immediately.
+        """
+        if self.status is command_status.COMPLETE:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
         return self
+
+    def _complete(self) -> None:
+        """Transition to COMPLETE and fire callbacks (queue-internal)."""
+        self.status = command_status.COMPLETE
+        self._queue = None
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def wait(self) -> "Event":
+        """Block until the command has executed.
+
+        On an eager queue commands run inside enqueue, so this is a
+        no-op; on a deferred queue it executes this command and every
+        command it transitively depends on (across queues).
+        """
+        if self.status is not command_status.COMPLETE \
+                and self._queue is not None:
+            self._queue._execute_until(self)
+        return self
+
+
+def wait_for_events(events) -> None:
+    """``clWaitForEvents``: drive every listed event to completion."""
+    for event in events:
+        event.wait()

@@ -1,26 +1,47 @@
-"""In-order command queues with a simulated device timeline.
+"""Command queues: eager or deferred, in-order or out-of-order.
 
-Commands execute **eagerly** (results are immediately visible to the
-host — the simulator has no real asynchrony to model) but their *cost* is
-accounted on a per-device simulated clock: each enqueue advances the
-clock by the modelled duration and stamps the returned event with
-queued/submit/start/end times, so profiling-based measurement code works
-exactly as it would against a real driver.
+Two execution modes share one cost model:
+
+``eager`` (the default)
+    Commands execute inside the enqueue call (results are immediately
+    visible to the host) but their *cost* is accounted on a per-device
+    simulated clock, so profiling-based measurement code works exactly
+    as it would against a real driver.
+
+``deferred``
+    ``enqueue_*`` records the command and returns an :class:`Event` in
+    the QUEUED state; nothing executes until :meth:`flush`,
+    :meth:`finish`, or ``event.wait()`` drives it.  Because each queue
+    stamps its own simulated clock only when commands actually run —
+    with every command's start time pushed past the completion of its
+    ``wait_for`` dependencies — work enqueued on several devices from
+    one host loop overlaps on the simulated timeline instead of
+    serializing in enqueue order.
+
+Every ``enqueue_*`` accepts ``wait_for=[events]``, the OpenCL event
+wait list: the command's simulated start time is at least the latest
+dependency completion (on any queue), and in deferred mode execution
+order respects those edges.  An **out-of-order** queue additionally
+schedules pending commands by the dependency DAG — the runnable command
+with the earliest possible start goes first — rather than by enqueue
+order.
 
 Every stamped command is also reported to :mod:`repro.trace` as a
-completed span on the device's simulated timeline (a no-op unless
-tracing is enabled), and transfer/launch volumes feed the global metrics
-registry — the Chrome-trace exporter renders these as one track per
-device alongside the host's wall-clock track.
+completed span on the device's simulated timeline, parented to the
+host-side span that was open *at enqueue time* (so deferred commands
+still attribute to the eval that caused them), and transfer/launch
+volumes feed the global metrics registry.
 """
 
 from __future__ import annotations
+
+import itertools
 
 import numpy as np
 
 from .. import trace
 from ..errors import InvalidValue
-from .api import command_type
+from .api import command_status, command_type, queue_properties
 from .buffer import Buffer
 from .context import Context
 from .costmodel import kernel_time, transfer_time
@@ -29,13 +50,34 @@ from .event import Event
 from .kernel_obj import Kernel
 
 
+class _Command:
+    """One recorded deferred command: its event plus the work closure."""
+
+    __slots__ = ("event", "payload", "attrs", "index", "trace_parent")
+
+    def __init__(self, event: Event, payload, attrs: dict, index: int,
+                 trace_parent: int | None) -> None:
+        self.event = event
+        #: () -> (duration_s, counters, breakdown, extra_trace_attrs)
+        self.payload = payload
+        self.attrs = attrs
+        self.index = index
+        self.trace_parent = trace_parent
+
+
 class CommandQueue:
-    """Mirror of ``cl_command_queue`` (in-order, optional profiling)."""
+    """Mirror of ``cl_command_queue`` (optionally deferred/out-of-order)."""
 
     def __init__(self, context: Context, device: Device | None = None,
-                 profiling: bool = True) -> None:
+                 profiling: bool = True, deferred: bool = False,
+                 out_of_order: bool = False,
+                 properties: int = 0) -> None:
         if not isinstance(context, Context):
             raise InvalidValue("first argument must be a Context")
+        if properties & queue_properties.OUT_OF_ORDER_EXEC_MODE_ENABLE:
+            out_of_order = True
+        if properties & queue_properties.PROFILING_ENABLE:
+            profiling = True
         if device is None:
             device = context.devices[0]
         if device not in context.devices:
@@ -43,87 +85,237 @@ class CommandQueue:
         self.context = context
         self.device = device
         self.profiling = profiling
+        self.deferred = deferred
+        self.out_of_order = out_of_order
         #: simulated device clock, seconds
         self.clock = 0.0
+        self._pending: list[_Command] = []
+        self._seq = itertools.count()
 
     # -- internal ----------------------------------------------------------------
 
-    def _stamp(self, command: command_type, duration: float,
-               counters=None, breakdown=None, **trace_attrs) -> Event:
-        start = self.clock
+    @staticmethod
+    def _dep_list(wait_for) -> tuple:
+        deps = tuple(wait_for) if wait_for else ()
+        for dep in deps:
+            if not isinstance(dep, Event):
+                raise InvalidValue(
+                    f"wait_for entries must be Events, got {dep!r}")
+        return deps
+
+    def _enqueue(self, command: command_type, payload, wait_for,
+                 **attrs) -> Event:
+        deps = self._dep_list(wait_for)
+        if not self.deferred:
+            # eager: dependencies may still be pending on a deferred
+            # queue — drive them to completion, then run right away
+            for dep in deps:
+                dep.wait()
+            event = Event(command=command,
+                          status=command_status.QUEUED, wait_list=deps,
+                          _profiling_enabled=self.profiling,
+                          device_name=self.device.name)
+            parent = trace.current_span()
+            self._execute(event, payload, attrs,
+                          parent.span_id if parent else None)
+            return event
+        event = Event(command=command, status=command_status.QUEUED,
+                      wait_list=deps,
+                      _profiling_enabled=self.profiling,
+                      device_name=self.device.name, _queue=self)
+        parent = trace.current_span()
+        self._pending.append(_Command(
+            event, payload, attrs, next(self._seq),
+            parent.span_id if parent else None))
+        return event
+
+    def _execute(self, event: Event, payload, attrs: dict,
+                 trace_parent: int | None) -> None:
+        """Run one command's payload and stamp its simulated interval."""
+        event.status = command_status.SUBMITTED
+        dep_end = max((d.end_ns for d in event.wait_list), default=0)
+        start = max(self.clock, dep_end * 1e-9)
+        event.status = command_status.RUNNING
+        duration, counters, breakdown, extra = payload()
         self.clock = start + duration
         start_ns = int(start * 1e9)
         end_ns = int(self.clock * 1e9)
-        trace.device_event(self.device.name, command.name.lower(),
+        event.queued_ns = event.submit_ns = event.start_ns = start_ns
+        event.end_ns = end_ns
+        event.counters = counters
+        event.breakdown = breakdown
+        trace.device_event(self.device.name, event.command.name.lower(),
                            start_ns, end_ns, category="simcl",
-                           **trace_attrs)
-        return Event(command=command,
-                     queued_ns=start_ns,
-                     submit_ns=start_ns,
-                     start_ns=start_ns,
-                     end_ns=end_ns,
-                     counters=counters, breakdown=breakdown,
-                     _profiling_enabled=self.profiling,
-                     device_name=self.device.name)
+                           parent_id=trace_parent, **attrs, **extra)
+        event._complete()
+
+    # -- deferred-mode scheduling ------------------------------------------------
+
+    def _command_of(self, event: Event) -> _Command | None:
+        for cmd in self._pending:
+            if cmd.event is event:
+                return cmd
+        return None
+
+    def _run_deferred(self, cmd: _Command) -> None:
+        for dep in cmd.event.wait_list:
+            if not dep.is_complete:
+                dep.wait()      # may recurse into this or another queue
+        if cmd not in self._pending:    # a recursive wait already ran it
+            return
+        self._pending.remove(cmd)
+        self._execute(cmd.event, cmd.payload, cmd.attrs, cmd.trace_parent)
+
+    def _schedule_next(self) -> _Command:
+        """The pending command to run next.
+
+        In-order queues are FIFO.  Out-of-order queues pick, among the
+        commands whose dependencies have all completed, the one with the
+        earliest possible start time on this device's timeline (ties
+        broken by enqueue order); if every pending command is blocked on
+        another queue, fall back to the oldest so its cross-queue waits
+        get driven.
+        """
+        if not self.out_of_order or len(self._pending) == 1:
+            return self._pending[0]
+        best = None
+        best_key = None
+        clock_ns = int(self.clock * 1e9)
+        for cmd in self._pending:
+            if any(not dep.is_complete for dep in cmd.event.wait_list):
+                continue
+            ready_ns = max((d.end_ns for d in cmd.event.wait_list),
+                           default=0)
+            key = (max(ready_ns, clock_ns), cmd.index)
+            if best is None or key < best_key:
+                best, best_key = cmd, key
+        return best if best is not None else self._pending[0]
+
+    def _execute_until(self, event: Event) -> None:
+        """Drive pending commands until ``event`` completes."""
+        while event.status is not command_status.COMPLETE:
+            if self.out_of_order:
+                cmd = self._command_of(event)
+                if cmd is None:     # completed by a recursive wait
+                    return
+                self._run_deferred(cmd)
+            else:
+                if not self._pending:
+                    return
+                self._run_deferred(self._schedule_next())
 
     # -- transfers ------------------------------------------------------------------
 
-    def enqueue_write_buffer(self, buffer: Buffer,
-                             hostbuf: np.ndarray) -> Event:
+    def enqueue_write_buffer(self, buffer: Buffer, hostbuf: np.ndarray,
+                             wait_for=None) -> Event:
         """Copy host memory into a device buffer."""
         host = np.asarray(hostbuf)
-        buffer.write_from(host)
-        duration = transfer_time(host.nbytes, self.device.spec)
-        registry = trace.get_registry()
-        registry.counter("simcl.h2d_transfers").inc()
-        registry.counter("simcl.h2d_bytes").inc(host.nbytes)
-        return self._stamp(command_type.WRITE_BUFFER, duration,
-                           bytes=host.nbytes)
+        if self.deferred:
+            # snapshot now: OpenCL allows the host to reuse its memory
+            # after a (simulated-)blocking enqueue returns
+            host = np.array(host, copy=True)
+        nbytes = host.nbytes
+        duration = transfer_time(nbytes, self.device.spec)
 
-    def enqueue_read_buffer(self, buffer: Buffer,
-                            hostbuf: np.ndarray) -> Event:
+        def payload():
+            buffer.write_from(host)
+            registry = trace.get_registry()
+            registry.counter("simcl.h2d_transfers").inc()
+            registry.counter("simcl.h2d_bytes").inc(nbytes)
+            return duration, None, None, {}
+
+        return self._enqueue(command_type.WRITE_BUFFER, payload, wait_for,
+                             bytes=nbytes)
+
+    def enqueue_read_buffer(self, buffer: Buffer, hostbuf: np.ndarray,
+                            wait_for=None) -> Event:
         """Copy a device buffer back into host memory."""
-        buffer.read_into(hostbuf)
         duration = transfer_time(hostbuf.nbytes, self.device.spec)
-        registry = trace.get_registry()
-        registry.counter("simcl.d2h_transfers").inc()
-        registry.counter("simcl.d2h_bytes").inc(hostbuf.nbytes)
-        return self._stamp(command_type.READ_BUFFER, duration,
-                           bytes=hostbuf.nbytes)
+        nbytes = hostbuf.nbytes
+
+        def payload():
+            buffer.read_into(hostbuf)
+            registry = trace.get_registry()
+            registry.counter("simcl.d2h_transfers").inc()
+            registry.counter("simcl.d2h_bytes").inc(nbytes)
+            return duration, None, None, {}
+
+        return self._enqueue(command_type.READ_BUFFER, payload, wait_for,
+                             bytes=nbytes)
 
     def enqueue_copy_buffer(self, src: Buffer, dst: Buffer,
-                            nbytes: int | None = None) -> Event:
+                            nbytes: int | None = None,
+                            wait_for=None) -> Event:
         """Device-to-device copy within the same (simulated) memory."""
         nbytes = min(src.size, dst.size) if nbytes is None else nbytes
-        dst._data[:nbytes] = src._data[:nbytes]
         duration = nbytes / (self.device.spec.mem_bandwidth_gbs * 1e9)
-        return self._stamp(command_type.COPY_BUFFER, duration,
-                           bytes=nbytes)
+
+        def payload():
+            dst._data[:nbytes] = src._data[:nbytes]
+            registry = trace.get_registry()
+            registry.counter("simcl.d2d_transfers").inc()
+            registry.counter("simcl.d2d_bytes").inc(nbytes)
+            return duration, None, None, {}
+
+        return self._enqueue(command_type.COPY_BUFFER, payload, wait_for,
+                             bytes=nbytes)
 
     # -- kernels ----------------------------------------------------------------------
 
     def enqueue_nd_range_kernel(self, kernel: Kernel, global_size,
-                                local_size=None) -> Event:
-        """Execute a kernel over an NDRange and account its model time."""
-        args = kernel.bound_args()
-        with trace.span("enqueue_kernel", category="simcl",
-                        kernel=kernel.name, device=self.device.name) as sp:
-            engine = self.device.make_engine(kernel.program.ir)
-            counters = engine.run(kernel.name, args, global_size,
-                                  local_size)
-            breakdown = kernel_time(counters, self.device.spec)
-            sp.set_attr("sim_seconds", breakdown.total)
-        trace.get_registry().counter("simcl.kernel_launches").inc()
-        return self._stamp(command_type.NDRANGE_KERNEL, breakdown.total,
-                           counters=counters, breakdown=breakdown,
-                           kernel=kernel.name)
+                                local_size=None, wait_for=None) -> Event:
+        """Execute a kernel over an NDRange and account its model time.
 
-    def finish(self) -> None:
-        """All SimCL commands are eager, so finish() is a no-op."""
+        Argument bindings are captured at enqueue time (as
+        ``clSetKernelArg`` semantics require); the kernel body runs —
+        and reads its buffers — when the command executes.
+        """
+        args = kernel.bound_args()
+        name = kernel.name
+        program_ir = kernel.program.ir
+
+        def payload():
+            with trace.span("enqueue_kernel", category="simcl",
+                            kernel=name, device=self.device.name) as sp:
+                engine = self.device.make_engine(program_ir)
+                counters = engine.run(name, args, global_size, local_size)
+                breakdown = kernel_time(counters, self.device.spec)
+                sp.set_attr("sim_seconds", breakdown.total)
+            trace.get_registry().counter("simcl.kernel_launches").inc()
+            return breakdown.total, counters, breakdown, {}
+
+        return self._enqueue(command_type.NDRANGE_KERNEL, payload,
+                             wait_for, kernel=name)
+
+    def enqueue_marker(self, wait_for=None) -> Event:
+        """A zero-duration command that completes after ``wait_for``
+        (or, with no list, after everything enqueued so far)."""
+        if wait_for is None:
+            wait_for = [cmd.event for cmd in self._pending]
+
+        def payload():
+            return 0.0, None, None, {}
+
+        return self._enqueue(command_type.MARKER, payload, wait_for)
+
+    # -- completion --------------------------------------------------------------------
 
     def flush(self) -> None:
-        """No-op, as for :meth:`finish`."""
+        """Execute every recorded command (no-op on an eager queue)."""
+        while self._pending:
+            self._run_deferred(self._schedule_next())
+
+    def finish(self) -> None:
+        """Execute and complete everything enqueued (``clFinish``)."""
+        self.flush()
+
+    @property
+    def pending(self) -> int:
+        """Number of recorded-but-unexecuted commands."""
+        return len(self._pending)
 
     def __repr__(self) -> str:
-        return (f"<CommandQueue on {self.device.name!r} "
-                f"clock={self.clock:.6f}s>")
+        mode = "deferred" if self.deferred else "eager"
+        order = ", out-of-order" if self.out_of_order else ""
+        return (f"<CommandQueue on {self.device.name!r} {mode}{order} "
+                f"clock={self.clock:.6f}s pending={len(self._pending)}>")

@@ -96,13 +96,14 @@ def span(name: str, category: str = "app", **attrs):
 
 
 def device_event(device: str, name: str, start_ns: int, end_ns: int,
-                 category: str = "device", **attrs):
+                 category: str = "device", parent_id: int | None = None,
+                 **attrs):
     """Record a completed simulated-clock span on the global tracer."""
     tracer = _default_tracer
     if not tracer.enabled:
         return None
     return tracer.device_event(device, name, start_ns, end_ns,
-                               category, **attrs)
+                               category, parent_id=parent_id, **attrs)
 
 
 def current_span():

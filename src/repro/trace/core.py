@@ -231,18 +231,24 @@ class Tracer:
 
     def device_event(self, device: str, name: str, start_ns: int,
                      end_ns: int, category: str = "device",
-                     **attrs) -> Span:
+                     parent_id: int | None = None, **attrs) -> Span:
         """Record a *completed* span on a device's simulated timeline.
 
         ``start_ns``/``end_ns`` are the simulated-clock stamps SimCL puts
-        on its events.  The span is parented to the caller's innermost
-        wall-clock span so host- and device-side views correlate.
+        on its events.  By default the span is parented to the caller's
+        innermost wall-clock span so host- and device-side views
+        correlate; pass an explicit ``parent_id`` when the command was
+        *recorded* under a different span than the one open when it
+        finally executes (deferred queues snapshot the enqueue-time
+        parent, so device work attributes to the eval that caused it).
         """
         thread = threading.current_thread()
-        parent = self.current()
+        if parent_id is None:
+            parent = self.current()
+            parent_id = parent.span_id if parent else None
         span = Span(name=name, category=category,
                     span_id=next(self._ids),
-                    parent_id=parent.span_id if parent else None,
+                    parent_id=parent_id,
                     thread_id=thread.ident or 0, thread_name=thread.name,
                     start_us=start_ns / 1000.0, clock="sim",
                     device=device, attrs=attrs)

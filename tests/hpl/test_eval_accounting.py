@@ -78,6 +78,64 @@ class TestTransferSeconds:
             stats.h2d_seconds + stats.d2h_seconds)
 
 
+class TestTransferAttribution:
+    """Regression: a host read between two evals must not leak its d2h
+    event into the second eval's ``transfer_events``.
+
+    The old runtime parked every transfer event in a per-device pending
+    list that the *next* eval drained, so ``y.read()`` here used to
+    credit its d2h time to the second invocation.  Events are now
+    threaded explicitly, so misattribution is impossible by
+    construction.
+    """
+
+    def test_host_read_between_evals_not_misattributed(
+            self, fresh_runtime):
+        from repro.ocl import command_type
+
+        x, y = _arrays()
+        r1 = hpl.eval(axpy)(y, x, Double(2.0))
+        assert len(r1.transfer_events) == 2          # x and y uploads
+
+        y.read()                                     # d2h, NOT an eval
+        x.data[:] = 3.0                              # host write => h2d
+
+        r2 = hpl.eval(axpy)(y, x, Double(2.0))
+        # exactly x's re-upload: no d2h from read(), no stale y upload
+        assert len(r2.transfer_events) == 1
+        assert all(e.command == command_type.WRITE_BUFFER
+                   for e in r2.transfer_events)
+        assert [name for name, _e in r2.transfers] == ["x"]
+
+    def test_host_read_event_lands_on_the_array(self, fresh_runtime):
+        from repro.ocl import command_type
+
+        x, y = _arrays()
+        hpl.eval(axpy)(y, x, Double(2.0))
+        assert y.host_event is None
+        y.read()
+        assert y.host_event is not None
+        assert y.host_event.command == command_type.READ_BUFFER
+        assert y.host_event.duration > 0
+
+    def test_eval_result_events_and_wait(self, fresh_runtime):
+        x, y = _arrays()
+        result = hpl.eval(axpy)(y, x, Double(2.0))
+        assert result.events == [*result.transfer_events,
+                                 result.kernel_event]
+        assert result.complete                       # eager mode
+        assert result.wait() is result
+
+    def test_kernel_waits_on_its_uploads(self, fresh_runtime):
+        x, y = _arrays()
+        result = hpl.eval(axpy)(y, x, Double(2.0))
+        deps = result.kernel_event.wait_list
+        assert all(any(e is d for d in deps)
+                   for e in result.transfer_events)
+        assert result.kernel_event.profile_start >= max(
+            e.profile_end for e in result.transfer_events)
+
+
 class TestOverheadSeconds:
     def test_cold_eval_pays_codegen_plus_build(self, fresh_runtime):
         _x, y = _arrays()

@@ -50,9 +50,10 @@ class TestDomains:
         assert np.array_equal(a.read(), expected)
 
     def test_local_must_divide_global(self):
+        # a bad .local_() is a DomainError naming both domains at launch
+        # time, not an opaque engine error from deep inside the run
         a = Array(int_, 10)
-        from repro.errors import InvalidWorkGroupSize
-        with pytest.raises(InvalidWorkGroupSize):
+        with pytest.raises(DomainError, match=r"\(3,\).*\(10,\)"):
             hpl.eval(fill_ids).global_(10).local_(3)(a)
 
     def test_local_dimensionality_must_match(self):

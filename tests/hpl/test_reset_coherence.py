@@ -1,0 +1,64 @@
+"""Array coherence across reset_runtime(): dead buffers must not be
+silently read as fresh data."""
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+from repro.errors import CoherenceError
+from repro.hpl import Array, Double, double_, idx, reset_runtime
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+def scale(y, a):
+    y[idx] = a * y[idx]
+
+
+class TestHostValidSurvivesReset:
+    def test_synced_array_recomputes_on_new_runtime(self):
+        y = Array(double_, 32)
+        y.data[:] = 1.0
+        hpl.eval(scale)(y, Double(2.0))
+        assert np.all(y.read() == 2.0)        # d2h: host copy now valid
+
+        reset_runtime()
+        hpl.eval(scale)(y, Double(3.0))       # re-uploads from host
+        assert np.all(y.read() == 6.0)
+
+    def test_untouched_host_array_unaffected_by_reset(self):
+        y = Array(double_, 8)
+        y.data[:] = 5.0
+        reset_runtime()
+        assert np.all(y.read() == 5.0)
+
+
+class TestDeviceOnlyCopyDiesWithRuntime:
+    def test_read_after_reset_raises_clear_error(self):
+        y = Array(double_, 32)
+        y.data[:] = 1.0
+        hpl.eval(scale)(y, Double(2.0))
+        # device copy is the only valid one: no read() before reset
+        reset_runtime()
+        with pytest.raises(CoherenceError, match="reset"):
+            y.read()
+
+    def test_eval_after_reset_raises_clear_error(self):
+        y = Array(double_, 32)
+        y.data[:] = 1.0
+        hpl.eval(scale)(y, Double(2.0))
+        reset_runtime()
+        with pytest.raises(CoherenceError, match="reset"):
+            hpl.eval(scale)(y, Double(2.0))   # needs host copy to upload
+
+    def test_error_names_the_stranded_device(self):
+        y = Array(double_, 32)
+        y.data[:] = 1.0
+        result = hpl.eval(scale)(y, Double(2.0))
+        stranded = result.device.name
+        reset_runtime()
+        with pytest.raises(CoherenceError, match=stranded.split()[0]):
+            y.read()

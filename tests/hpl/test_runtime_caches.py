@@ -1,0 +1,93 @@
+"""Capture/compile cache growth: per-call lambdas must not leak."""
+
+import gc
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+from repro.hpl import Array, Float, float_, get_runtime, idx
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    yield
+
+
+def _farray(n=16, value=1.0):
+    a = Array(float_, n)
+    a.data[:] = np.float32(value)
+    return a
+
+
+class TestPerCallLambdas:
+    def test_loop_of_fresh_lambdas_shares_one_entry(self):
+        # each iteration builds a NEW closure object over the same code
+        # with the same captured value — the old id()-less keying grew
+        # the caches by one entry per call
+        rt = get_runtime()
+        for _ in range(8):
+            factor = 2.0
+
+            def scale(y, s):
+                y[idx] = y[idx] * factor
+
+            a = _farray()
+            hpl.eval(scale)(a, Float(1.0))
+        assert rt.stats.kernels_captured == 1
+        assert rt.stats.kernels_built == 1
+        assert rt.cache_entries == 2          # one captured + one binary
+
+    def test_different_closure_values_get_distinct_entries(self):
+        rt = get_runtime()
+        for factor in (2.0, 3.0):
+            def scale(y):
+                y[idx] = y[idx] * factor
+
+            hpl.eval(scale)(_farray())
+        assert rt.stats.kernels_captured == 2
+
+    def test_gauge_tracks_cache_size(self):
+        rt = get_runtime()
+
+        def k(y):
+            y[idx] = y[idx] + 1.0
+
+        hpl.eval(k)(_farray())
+        gauge = rt.stats.registry.gauge("hpl.cache_entries")
+        assert gauge.value == rt.cache_entries
+        assert rt.cache_entries == 2
+
+
+class TestWeakrefPurge:
+    def test_dead_nonprimitive_closure_is_evicted(self):
+        # closing over an ndarray forces the weakref fallback; once the
+        # function dies, its cache entries must go with it
+        rt = get_runtime()
+
+        def make(values):
+            def k(y):
+                y[idx] = y[idx] + float(values[0])
+
+            return k
+
+        kern = make(np.ones(3))
+        hpl.eval(kern)(_farray())
+        assert rt.cache_entries == 2
+        del kern
+        gc.collect()
+        assert rt.cache_entries == 0
+        assert rt.stats.registry.gauge("hpl.cache_entries").value == 0
+
+    def test_live_nonprimitive_closure_stays_cached(self):
+        rt = get_runtime()
+        values = np.ones(3)
+
+        def k(y):
+            y[idx] = y[idx] + float(values[0])
+
+        hpl.eval(k)(_farray())
+        hit = hpl.eval(k)(_farray())
+        assert hit.from_cache
+        assert rt.stats.kernels_built == 1
+        assert rt.cache_entries == 2

@@ -1,0 +1,257 @@
+"""Event lifecycle, wait lists, deferred queues, out-of-order DAG."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.ocl as cl
+from repro import trace
+from repro.errors import InvalidValue, ProfilingInfoNotAvailable
+from repro.ocl import TESLA_C2050, XEON_HOST, command_status
+
+SRC = """
+__kernel void twice(__global float* a) {
+    int i = get_global_id(0);
+    a[i] = 2.0f * a[i];
+}
+"""
+
+
+def _setup(deferred=False, out_of_order=False, spec=TESLA_C2050):
+    device = cl.Device(spec, "serial")
+    ctx = cl.Context([device])
+    queue = cl.CommandQueue(ctx, device, deferred=deferred,
+                            out_of_order=out_of_order)
+    return device, ctx, queue
+
+
+class TestEventLifecycle:
+    def test_eager_events_are_born_complete(self):
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.zeros(4, np.float32))
+        assert event.status is command_status.COMPLETE
+        assert event.is_complete
+        assert event.wait() is event          # no-op, chainable
+
+    def test_deferred_events_start_queued(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        assert event.status is command_status.QUEUED
+        assert queue.pending == 1
+
+    def test_profiling_info_needs_completion(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        with pytest.raises(ProfilingInfoNotAvailable):
+            _ = event.duration_ns
+        event.wait()
+        assert event.duration_ns > 0
+
+    def test_callback_fires_on_completion(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        seen = []
+        event.add_callback(seen.append)
+        assert seen == []
+        queue.finish()
+        assert seen == [event]
+        # late registration fires immediately
+        event.add_callback(seen.append)
+        assert seen == [event, event]
+
+    def test_wait_list_must_hold_events(self):
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        with pytest.raises(InvalidValue):
+            queue.enqueue_write_buffer(buf, np.zeros(4, np.float32),
+                                       wait_for=["not-an-event"])
+
+
+class TestDeferredExecution:
+    def test_nothing_runs_until_flush(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        data = np.arange(4, dtype=np.float32)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=data.nbytes)
+        program = cl.Program(ctx, SRC).build()
+        kernel = program.create_kernel("twice")
+        queue.enqueue_write_buffer(buf, data)
+        kernel.set_arg(0, buf)
+        queue.enqueue_nd_range_kernel(kernel, (4,))
+        out = np.zeros(4, np.float32)
+        read = queue.enqueue_read_buffer(buf, out)
+        assert np.all(out == 0)               # still pending
+        queue.finish()
+        assert read.is_complete
+        assert np.array_equal(out, 2 * data)
+
+    def test_deferred_write_snapshots_host_memory(self):
+        # OpenCL lets the host reuse its memory once enqueue returns
+        _dev, ctx, queue = _setup(deferred=True)
+        data = np.arange(4, dtype=np.float32)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=data.nbytes)
+        queue.enqueue_write_buffer(buf, data)
+        data[:] = -1.0                        # mutate after enqueue
+        queue.finish()
+        out = np.zeros(4, np.float32)
+        queue.enqueue_read_buffer(buf, out)
+        queue.finish()
+        assert np.array_equal(out, np.arange(4, dtype=np.float32))
+
+    def test_event_wait_drives_the_prefix(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        data = np.arange(4, dtype=np.float32)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=data.nbytes)
+        e1 = queue.enqueue_write_buffer(buf, data)
+        out = np.zeros(4, np.float32)
+        e2 = queue.enqueue_read_buffer(buf, out)
+        e2.wait()                             # in-order: runs e1 first
+        assert e1.is_complete and e2.is_complete
+        assert np.array_equal(out, data)
+        assert queue.pending == 0
+
+    def test_clock_advances_only_on_execution(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 12)
+        queue.enqueue_write_buffer(buf, np.zeros(1 << 10, np.float32))
+        assert queue.clock == 0.0
+        queue.finish()
+        assert queue.clock > 0.0
+
+    def test_eager_queue_drives_pending_dependencies(self):
+        # an eager enqueue whose wait list lives on a deferred queue
+        # executes the dependency first
+        devA = cl.Device(TESLA_C2050, "serial")
+        devB = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([devA, devB])
+        qA = cl.CommandQueue(ctx, devA, deferred=True)
+        qB = cl.CommandQueue(ctx, devB)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        dep = qA.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        out = np.zeros(4, np.float32)
+        event = qB.enqueue_read_buffer(buf, out, wait_for=[dep])
+        assert dep.is_complete and event.is_complete
+        assert np.array_equal(out, np.ones(4, np.float32))
+
+
+class TestDependencyTimeline:
+    def test_start_waits_for_cross_queue_dependency(self):
+        devA = cl.Device(TESLA_C2050, "serial")
+        devB = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([devA, devB])
+        qA = cl.CommandQueue(ctx, devA)
+        qB = cl.CommandQueue(ctx, devB)
+        big = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 20)
+        dep = qA.enqueue_write_buffer(big,
+                                      np.zeros(1 << 18, np.float32))
+        small = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = qB.enqueue_write_buffer(small, np.zeros(4, np.float32),
+                                        wait_for=[dep])
+        assert event.profile_start >= dep.profile_end
+        assert event.wait_list == (dep,)
+
+    def test_independent_queues_overlap(self):
+        devA = cl.Device(TESLA_C2050, "serial")
+        devB = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([devA, devB])
+        qA = cl.CommandQueue(ctx, devA)
+        qB = cl.CommandQueue(ctx, devB)
+        buf_a = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 16)
+        buf_b = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 16)
+        e_a = qA.enqueue_write_buffer(buf_a,
+                                      np.zeros(1 << 14, np.float32))
+        e_b = qB.enqueue_write_buffer(buf_b,
+                                      np.zeros(1 << 14, np.float32))
+        # no dependency: both start at their own device's time zero
+        assert e_a.profile_start == 0
+        assert e_b.profile_start == 0
+
+
+class TestOutOfOrder:
+    def test_schedules_by_dag_not_enqueue_order(self):
+        devA = cl.Device(TESLA_C2050, "serial")
+        devB = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([devA, devB])
+        slow_q = cl.CommandQueue(ctx, devB, deferred=True)
+        queue = cl.CommandQueue(ctx, devA, deferred=True,
+                                out_of_order=True)
+        big = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 20)
+        slow = slow_q.enqueue_write_buffer(
+            big, np.zeros(1 << 18, np.float32))
+        bufs = [cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+                for _ in range(2)]
+        blocked = queue.enqueue_write_buffer(
+            bufs[0], np.zeros(4, np.float32), wait_for=[slow])
+        free = queue.enqueue_write_buffer(
+            bufs[1], np.zeros(4, np.float32))
+        queue.finish()
+        slow_q.finish()
+        # the later-enqueued, dependency-free command ran first
+        assert free.profile_start < blocked.profile_start
+        assert blocked.profile_start >= slow.profile_end
+
+    def test_out_of_order_property_flag(self):
+        _dev, _ctx, queue = _setup(out_of_order=True)
+        assert queue.out_of_order
+        dev = cl.Device(TESLA_C2050, "serial")
+        ctx = cl.Context([dev])
+        via_props = cl.CommandQueue(
+            ctx, dev,
+            properties=cl.queue_properties.OUT_OF_ORDER_EXEC_MODE_ENABLE)
+        assert via_props.out_of_order
+
+    def test_wait_on_out_of_order_event_runs_only_its_deps(self):
+        _dev, ctx, queue = _setup(deferred=True, out_of_order=True)
+        a = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        b = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        e_a = queue.enqueue_write_buffer(a, np.ones(4, np.float32))
+        e_b = queue.enqueue_write_buffer(b, np.ones(4, np.float32))
+        out = np.zeros(4, np.float32)
+        e_read = queue.enqueue_read_buffer(a, out, wait_for=[e_a])
+        e_read.wait()
+        assert e_a.is_complete and e_read.is_complete
+        assert not e_b.is_complete          # unrelated branch untouched
+        queue.finish()
+        assert e_b.is_complete
+
+
+class TestMarkerAndHelpers:
+    def test_marker_completes_after_everything(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        e1 = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        marker = queue.enqueue_marker()
+        marker.wait()
+        assert e1.is_complete
+        assert marker.profile_start >= e1.profile_end
+        assert marker.duration == 0.0
+
+    def test_wait_for_events_helper(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        events = [queue.enqueue_write_buffer(buf,
+                                             np.ones(4, np.float32))
+                  for _ in range(3)]
+        cl.wait_for_events(events)
+        assert all(e.is_complete for e in events)
+
+
+class TestCopyBufferMetrics:
+    def test_copy_buffer_counts_in_registry(self):
+        registry = trace.get_registry()
+        before_n = registry.counter("simcl.d2d_transfers").value
+        before_b = registry.counter("simcl.d2d_bytes").value
+        _dev, ctx, queue = _setup()
+        src = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=64)
+        dst = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=64)
+        queue.enqueue_write_buffer(src, np.arange(16, dtype=np.float32))
+        event = queue.enqueue_copy_buffer(src, dst)
+        assert event.command == cl.command_type.COPY_BUFFER
+        assert registry.counter("simcl.d2d_transfers").value \
+            == before_n + 1
+        assert registry.counter("simcl.d2d_bytes").value \
+            == before_b + 64
