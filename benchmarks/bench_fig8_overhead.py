@@ -32,3 +32,34 @@ def test_fig8_overhead_with_transfers(benchmark):
     # with PCIe traffic counted the overhead is diluted below ~5%
     for row in rows:
         assert row["slowdown_pct"] < 5.0, row
+
+
+def test_fig8_warm_disk_cache_skips_compiles(benchmark, tmp_path):
+    """Figure 8 rerun against a warm persistent cache: the second pass
+    performs zero clc compiles and spends less time in build."""
+    import repro.hpl as hpl
+    from repro import trace
+
+    compiles = trace.get_registry().counter("clc.compiles")
+
+    def run():
+        hpl.configure(cache_dir=tmp_path)
+        try:
+            reset_runtime()
+            cold = runner.run_fig8()
+            before = compiles.value
+            reset_runtime()
+            warm = runner.run_fig8()
+            return cold, warm, compiles.value - before
+        finally:
+            hpl.configure(cache_dir=None)
+
+    cold, warm, warm_compiles = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    cold_build = sum(r["build_seconds"] for r in cold)
+    warm_build = sum(r["build_seconds"] for r in warm)
+    print()
+    print(f"fig8 build time: cold {cold_build:.6f}s, "
+          f"warm {warm_build:.6f}s, {warm_compiles} warm compile(s)")
+    assert warm_compiles == 0
+    assert warm_build < cold_build

@@ -20,3 +20,25 @@ def test_warm_cache_binary_reuse(benchmark):
     assert row["warm_slowdown_pct"] < row["cold_slowdown_pct"]
     # warm calls are virtually identical to OpenCL (within 2%)
     assert abs(row["warm_slowdown_pct"]) < 2.0
+
+
+def test_warm_cache_disk_cross_process(benchmark, tmp_path):
+    """Persistent-cache extension of §V-B: the *second process* is warm.
+
+    A fresh process with a populated ``HPL_CACHE_DIR`` must build every
+    kernel from the disk cache — zero clc compiles — and produce results
+    identical to the cold process.
+    """
+    row = benchmark.pedantic(
+        lambda: runner.run_warm_cache_disk(cache_dir=tmp_path,
+                                           output=None),
+        rounds=1, iterations=1)
+    print()
+    print(report.format_warm_cache_disk(row))
+    assert row["cold_clc_compiles"] >= 5
+    assert row["warm_clc_compiles"] == 0
+    assert row["warm_disk_cache_hits"] >= 5
+    assert row["warm_disk_cache_misses"] == 0
+    assert row["results_identical"]
+    assert row["verified"]
+    assert row["warm_build_seconds"] < row["cold_build_seconds"]

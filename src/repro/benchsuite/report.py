@@ -28,6 +28,9 @@ def format_metrics_summary(stats) -> str:
            f"{stats.d2h_transfers} transfer(s), "
            f"{stats.d2h_seconds:.6f}s simulated",
            f"{'kernel launches':<36}{stats.launches:>12}",
+           f"{'disk cache':<36}{stats.disk_cache_hits:>12} hit(s), "
+           f"{stats.disk_cache_misses} miss(es), "
+           f"{stats.disk_cache_bytes} bytes written",
            _rule(), "", stats.registry.summary("metrics registry")]
     return "\n".join(out)
 
@@ -116,6 +119,32 @@ def format_fig9(rows: list[dict]) -> str:
         out.append(f"{r['benchmark']:<20}{r['gpu']:<22}"
                    f"{r['slowdown_pct']:>11.2f}%")
     out.append(_rule())
+    return "\n".join(out)
+
+
+def format_warm_cache_disk(row: dict) -> str:
+    """Render the cross-process persistent-cache measurement."""
+    out = ["Persistent kernel cache: cold vs warm process "
+           "(all five benchmarks)", _rule(),
+           f"{'Benchmark':<20}{'cold build s':>14}{'warm build s':>14}",
+           _rule()]
+    for name, r in row["benchmarks"].items():
+        out.append(f"{name:<20}{r['cold_build_seconds']:>14.6f}"
+                   f"{r['warm_build_seconds']:>14.6f}")
+    out += [_rule(),
+            f"{'total build time':<34}{row['cold_build_seconds']:>11.6f}s"
+            f" -> {row['warm_build_seconds']:.6f}s "
+            f"({row['build_reduction_pct']:.1f}% less)",
+            f"{'clc compiles':<34}{row['cold_clc_compiles']:>12}"
+            f" -> {row['warm_clc_compiles']}",
+            f"{'disk cache hits (warm process)':<34}"
+            f"{row['warm_disk_cache_hits']:>12}",
+            f"{'results identical':<34}"
+            f"{str(row['results_identical']):>12}",
+            f"{'verified':<34}{str(row['verified']):>12}",
+            _rule()]
+    if row.get("output"):
+        out.append(f"wrote {row['output']}")
     return "\n".join(out)
 
 

@@ -162,6 +162,7 @@ def run_fig8(include_transfers: bool = False,
             "opencl_seconds": ocl_t,
             "hpl_seconds": hpl_t,
             "hpl_overhead_seconds": pair["hpl"].hpl_overhead_seconds,
+            "build_seconds": pair["hpl"].build_seconds,
             "slowdown_pct": 100.0 * (hpl_t - ocl_t) / ocl_t,
         })
     return rows
@@ -229,6 +230,149 @@ def run_warm_cache(ep_class: str = "W") -> dict:
         "warm_overhead_seconds": (warm.hpl_overhead_seconds
                                   + warm.build_seconds),
     }
+
+
+# -- persistent disk cache: cold vs warm process ------------------------------
+
+def _problems_warm_cache() -> dict:
+    """Small instances of all five benchmarks — the compile cost the
+    warm-cache experiment measures is problem-size independent, so the
+    device work is kept tiny to make the target cheap enough for CI."""
+    return {
+        "EP": ep.ep_problem("S"),
+        "Floyd-Warshall": floyd.floyd_problem(256, n_run=32),
+        "Matrix transpose": transpose.transpose_problem(1024, n_run=128),
+        "Spmv": spmv.spmv_problem(2048, n_run=256),
+        "Reduction": reduction.reduction_problem(1 << 16, n_run=1 << 12),
+    }
+
+
+def _checksum(output) -> float:
+    """Order-stable digest of a benchmark's numerical output."""
+    import numpy as np
+
+    parts = output if isinstance(output, (tuple, list)) else (output,)
+    return float(sum(np.asarray(p, dtype=np.float64).sum()
+                     for p in parts))
+
+
+def _warm_cache_child() -> None:
+    """One measured process of the warm-cache experiment.
+
+    Runs the HPL variant of all five paper benchmarks against whatever
+    ``HPL_CACHE_DIR`` points at, then prints a JSON record of compile
+    costs, cache traffic and result checksums on stdout.  Spawned twice
+    (cold, then warm) by :func:`run_warm_cache_disk`.
+    """
+    import json
+
+    from .. import trace
+
+    registry = trace.get_registry()
+    rows = {}
+    for name, problem in _problems_warm_cache().items():
+        reset_runtime()
+        module = _BENCH_MODULES[name]
+        run = module.run_hpl(problem, TESLA)
+        rows[name] = {
+            "build_seconds": run.build_seconds,
+            "codegen_seconds": run.hpl_overhead_seconds,
+            "verified": bool(module.verify(run, problem)),
+            "checksum": _checksum(run.output),
+        }
+    print(json.dumps({
+        "benchmarks": rows,
+        "total_build_seconds": sum(r["build_seconds"]
+                                   for r in rows.values()),
+        "clc_compiles": registry.counter("clc.compiles").value,
+        "disk_cache_hits": registry.counter("hpl.disk_cache_hits").value,
+        "disk_cache_misses":
+            registry.counter("hpl.disk_cache_misses").value,
+        "verified": all(r["verified"] for r in rows.values()),
+    }))
+
+
+def _spawn_warm_cache_child(cache_dir) -> dict:
+    import json
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = os.environ.copy()
+    env["HPL_CACHE_DIR"] = str(cache_dir)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.benchsuite.runner import _warm_cache_child as c; c()"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"warm-cache child failed ({proc.returncode}):\n{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_warm_cache_disk(cache_dir=None,
+                        output: str | None = "BENCH_warm_cache.json"
+                        ) -> dict:
+    """Cold vs warm compile cost across *processes* (persistent cache).
+
+    Runs all five benchmarks in a fresh subprocess against an empty
+    kernel cache (cold), then again in another fresh subprocess against
+    the now-populated cache (warm).  The warm process must perform zero
+    clc compiles — every ``Program.build`` is served from disk — and
+    produce bit-identical results.  With ``output`` set, the row is also
+    written as JSON (the ``BENCH_warm_cache.json`` trajectory artifact).
+    """
+    import json
+    import tempfile
+
+    cleanup = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="hpl-warm-cache-")
+        cache_dir, cleanup = tmp.name, tmp
+    try:
+        cold = _spawn_warm_cache_child(cache_dir)
+        warm = _spawn_warm_cache_child(cache_dir)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    cold_build = cold["total_build_seconds"]
+    warm_build = warm["total_build_seconds"]
+    row = {
+        "benchmarks": {
+            name: {
+                "cold_build_seconds": cold["benchmarks"][name]
+                ["build_seconds"],
+                "warm_build_seconds": warm["benchmarks"][name]
+                ["build_seconds"],
+            } for name in cold["benchmarks"]
+        },
+        "cold_build_seconds": cold_build,
+        "warm_build_seconds": warm_build,
+        "build_reduction_pct": (100.0 * (cold_build - warm_build)
+                                / cold_build if cold_build else 0.0),
+        "cold_clc_compiles": cold["clc_compiles"],
+        "warm_clc_compiles": warm["clc_compiles"],
+        "cold_disk_cache_hits": cold["disk_cache_hits"],
+        "warm_disk_cache_hits": warm["disk_cache_hits"],
+        "warm_disk_cache_misses": warm["disk_cache_misses"],
+        "verified": bool(cold["verified"] and warm["verified"]),
+        "results_identical": all(
+            cold["benchmarks"][name]["checksum"]
+            == warm["benchmarks"][name]["checksum"]
+            for name in cold["benchmarks"]),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
 
 
 # -- §VII cluster extension: multi-device overlap ------------------------------
@@ -310,6 +454,8 @@ def _cli_targets() -> dict:
         "fig8": (run_fig8, report.format_fig8),
         "fig9": (run_fig9, report.format_fig9),
         "warm": (run_warm_cache, report.format_warm_cache),
+        "warm-cache": (run_warm_cache_disk,
+                       report.format_warm_cache_disk),
     }
 
 

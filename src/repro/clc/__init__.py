@@ -35,6 +35,9 @@ def compile_source(source: str, options: str = "",
     """
     from .. import trace
 
+    # counts every full front-end run; the persistent kernel cache's
+    # "zero recompiles on a warm start" guarantee is asserted against it
+    trace.get_registry().counter("clc.compiles").inc()
     with trace.span("compile", category="clc", filename=filename,
                     source_bytes=len(source)):
         with trace.span("preprocess", category="clc"):

@@ -52,6 +52,14 @@ class SemanticError(CompileError):
     """Type errors, unknown identifiers, address-space violations, ..."""
 
 
+class IRSchemaError(ReproError):
+    """A serialized :class:`~repro.clc.ir.ProgramIR` blob cannot be
+    decoded: bad magic, corrupt payload, unknown node kind, or a schema
+    version this build of the compiler does not understand.  Raised (and
+    caught — a mismatching cache entry is a miss, never a crash) by the
+    persistent kernel cache."""
+
+
 # ---------------------------------------------------------------------------
 # Simulated OpenCL runtime (repro.ocl)
 # ---------------------------------------------------------------------------
@@ -99,6 +107,14 @@ class BuildProgramFailure(CLError):
     def __init__(self, message: str = "", build_log: str = "") -> None:
         self.build_log = build_log
         super().__init__(message)
+
+
+class InvalidProgramExecutable(CLError):
+    """A kernel was enqueued on a device its program was never
+    (successfully) built for — ``clEnqueueNDRangeKernel`` returns this
+    when there is no program executable for the queue's device."""
+
+    code = "CL_INVALID_PROGRAM_EXECUTABLE"
 
 
 class OutOfResources(CLError):

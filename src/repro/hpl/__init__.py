@@ -70,9 +70,20 @@ __all__ = [
     "eval", "eval_", "Evaluator", "get_devices", "get_device",
     "get_runtime", "reset_runtime", "EvalResult", "HPLDevice",
     "HPLRuntime", "RuntimeStats",
+    # persistent kernel binary cache
+    "configure", "KernelDiskCache",
     # multi-device cluster extension
     "Cluster", "ClusterTimeline", "DistributedArray", "cluster_eval",
     "timeline_of",
     # capture internals useful for tooling/tests
     "KernelBuilder", "KernelInfo", "analyze_kernel", "generate_source",
 ]
+
+
+def __getattr__(name):
+    # lazy: keeps `python -m repro.hpl.diskcache` runnable without the
+    # package having pre-imported the submodule under its own name
+    if name in ("configure", "KernelDiskCache"):
+        from . import diskcache
+        return getattr(diskcache, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

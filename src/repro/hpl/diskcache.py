@@ -1,0 +1,316 @@
+"""Persistent, cross-process kernel binary cache.
+
+The paper's runtime "stores internally and reuses the binaries of the
+kernels it generates" (§V-B) — but the in-memory ``_captured``/``_compiled``
+caches of :mod:`repro.hpl.runtime` die with the process, so every cold
+start pays the full clc compile cost again.  This module adds the third
+cache layer: a content-addressed on-disk store of serialized
+:class:`~repro.clc.ir.ProgramIR` blobs shared by every process on the
+machine, in the spirit of pocl's kernel compiler cache.
+
+Key anatomy (see docs/caching.md)::
+
+    sha256("hpl-kernel-cache" \\0 <package version> \\0 <IR schema version>
+           \\0 <build options> \\0 <device caps> \\0 <preprocessed source>)
+
+so a cache entry is invalidated automatically by a compiler upgrade, an
+IR schema change, different ``-D`` options, a source edit, or a device
+capability (fp64) difference.  Entries are written atomically
+(temp file + ``os.replace``) so concurrent readers can never observe a
+torn blob, eviction runs under an ``flock`` so concurrent benchsuite
+processes do not race each other, and the store is LRU size-capped
+(mtime is touched on every hit).
+
+Enabling the cache::
+
+    import repro.hpl as hpl
+    hpl.configure(cache_dir="~/.cache/hpl-kernels")   # or
+    $ HPL_CACHE_DIR=~/.cache/hpl-kernels python app.py
+
+Inspection CLI::
+
+    python -m repro.hpl.diskcache {ls,stats,purge} [--cache-dir DIR]
+
+Metrics (process-global registry): ``hpl.disk_cache_hits``,
+``hpl.disk_cache_misses``, ``hpl.disk_cache_bytes`` (bytes written).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import threading
+from pathlib import Path
+
+from .. import trace
+from .._version import __version__
+from ..clc.ir import IR_SCHEMA_VERSION, ProgramIR
+from ..errors import IRSchemaError
+
+try:                                    # POSIX only; harmless elsewhere
+    import fcntl
+except ImportError:                     # pragma: no cover - non-POSIX
+    fcntl = None
+
+#: environment variables honoured on first use
+ENV_CACHE_DIR = "HPL_CACHE_DIR"
+ENV_CACHE_MAX_BYTES = "HPL_CACHE_MAX_BYTES"
+
+#: default LRU size cap (generous: entries are a few KB each)
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+_ENTRY_SUFFIX = ".irbin"
+
+
+def cache_key(preprocessed_source: str, options: str = "",
+              device_caps=()) -> str:
+    """Content-addressed key of one compile: sha256 over every input
+    that can change the produced IR or its validity on a device."""
+    h = hashlib.sha256()
+    for part in ("hpl-kernel-cache", __version__, str(IR_SCHEMA_VERSION),
+                 options, repr(tuple(device_caps)), preprocessed_source):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+class KernelDiskCache:
+    """A directory of ``<sha256>.irbin`` entries with LRU eviction."""
+
+    def __init__(self, path, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        self.path = Path(path).expanduser()
+        self.max_bytes = int(max_bytes)
+        if self.max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    def key_of(self, preprocessed_source: str, options: str = "",
+               device_caps=()) -> str:
+        """See :func:`cache_key`."""
+        return cache_key(preprocessed_source, options, device_caps)
+
+    # -- internal ----------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / (key + _ENTRY_SUFFIX)
+
+    @contextlib.contextmanager
+    def _locked(self):
+        """Cross-process exclusive lock over mutations of the store."""
+        if fcntl is None:               # pragma: no cover - non-POSIX
+            yield
+            return
+        with open(self.path / ".lock", "a+b") as fh:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+
+    @staticmethod
+    def _registry():
+        return trace.get_registry()
+
+    # -- lookup / store ----------------------------------------------------
+
+    def get(self, key: str) -> ProgramIR | None:
+        """The cached IR for ``key``, or None (a counted miss).
+
+        A torn, corrupt, or schema-mismatched entry is removed and
+        reported as a miss — the caller recompiles and overwrites it.
+        """
+        with trace.span("disk_cache_lookup", category="hpl",
+                        key=key[:12]) as sp:
+            path = self._entry_path(key)
+            try:
+                blob = path.read_bytes()
+                program = ProgramIR.from_bytes(blob)
+            except (OSError, IRSchemaError):
+                with contextlib.suppress(OSError):
+                    if path.exists():   # invalid entry: drop it
+                        path.unlink()
+                self._registry().counter("hpl.disk_cache_misses").inc()
+                sp.set_attr("outcome", "miss")
+                return None
+            with contextlib.suppress(OSError):
+                os.utime(path)          # LRU: mark recently used
+            self._registry().counter("hpl.disk_cache_hits").inc()
+            sp.set_attr("outcome", "hit")
+            return program
+
+    def put(self, key: str, program: ProgramIR) -> None:
+        """Store ``program`` under ``key`` atomically, then evict LRU."""
+        with trace.span("disk_cache_store", category="hpl",
+                        key=key[:12]) as sp:
+            blob = program.to_bytes()
+            tmp = self.path / (
+                f".{key}.{os.getpid()}.{threading.get_ident()}.tmp")
+            try:
+                tmp.write_bytes(blob)
+                os.replace(tmp, self._entry_path(key))
+            finally:
+                with contextlib.suppress(OSError):
+                    tmp.unlink()
+            self._registry().counter("hpl.disk_cache_bytes").inc(len(blob))
+            sp.set_attr("bytes", len(blob))
+            with self._locked():
+                self._evict_lru()
+
+    def _evict_lru(self) -> None:
+        entries = self.entries()
+        total = sum(size for _k, size, _m in entries)
+        # oldest mtime first; stop as soon as we fit under the cap
+        for key, size, _mtime in sorted(entries, key=lambda e: e[2]):
+            if total <= self.max_bytes:
+                return
+            with contextlib.suppress(OSError):
+                self._entry_path(key).unlink()
+                total -= size
+
+    # -- inspection --------------------------------------------------------
+
+    def entries(self) -> list[tuple[str, int, float]]:
+        """``(key, size_bytes, mtime)`` for every complete entry."""
+        out = []
+        for path in self.path.glob("*" + _ENTRY_SUFFIX):
+            try:
+                st = path.stat()
+            except OSError:             # raced with an eviction
+                continue
+            out.append((path.name[:-len(_ENTRY_SUFFIX)],
+                        st.st_size, st.st_mtime))
+        return out
+
+    def purge(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        with self._locked():
+            for key, _size, _mtime in self.entries():
+                with contextlib.suppress(OSError):
+                    self._entry_path(key).unlink()
+                    removed += 1
+        return removed
+
+    def stats(self) -> dict:
+        """Plain-data summary: store contents plus this process's hit
+        and miss counters."""
+        entries = self.entries()
+        registry = self._registry()
+        return {
+            "path": str(self.path),
+            "entries": len(entries),
+            "total_bytes": sum(size for _k, size, _m in entries),
+            "max_bytes": self.max_bytes,
+            "hits": registry.counter("hpl.disk_cache_hits").value,
+            "misses": registry.counter("hpl.disk_cache_misses").value,
+            "bytes_written": registry.counter("hpl.disk_cache_bytes").value,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<KernelDiskCache {str(self.path)!r} "
+                f"max_bytes={self.max_bytes}>")
+
+
+# -- process-global activation ----------------------------------------------------
+
+_active: KernelDiskCache | None = None
+_configured = False
+_config_lock = threading.Lock()
+
+
+def configure(cache_dir=None, max_bytes: int | None = None
+              ) -> KernelDiskCache | None:
+    """Enable (or, with ``cache_dir=None``, disable) the disk cache.
+
+    Takes precedence over the ``HPL_CACHE_DIR`` environment variable.
+    Returns the active :class:`KernelDiskCache`, or None when disabled.
+    """
+    global _active, _configured
+    with _config_lock:
+        _configured = True
+        if cache_dir is None:
+            _active = None
+        else:
+            _active = KernelDiskCache(
+                cache_dir, max_bytes if max_bytes is not None
+                else _env_max_bytes())
+        return _active
+
+
+def active_cache() -> KernelDiskCache | None:
+    """The process's disk cache: explicit configuration wins, else the
+    ``HPL_CACHE_DIR`` environment variable (read once), else None."""
+    global _active, _configured
+    if _configured:
+        return _active
+    with _config_lock:
+        if not _configured:
+            env_dir = os.environ.get(ENV_CACHE_DIR)
+            _active = (KernelDiskCache(env_dir, _env_max_bytes())
+                       if env_dir else None)
+            _configured = True
+    return _active
+
+
+def _env_max_bytes() -> int:
+    raw = os.environ.get(ENV_CACHE_MAX_BYTES)
+    try:
+        return int(raw) if raw else DEFAULT_MAX_BYTES
+    except ValueError:
+        return DEFAULT_MAX_BYTES
+
+
+# -- command-line interface --------------------------------------------------------
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.hpl.diskcache {ls,stats,purge}``."""
+    import argparse
+    import datetime
+    import json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.hpl.diskcache",
+        description="Inspect or manage the persistent HPL kernel cache.")
+    parser.add_argument("action", choices=("ls", "stats", "purge"),
+                        help="list entries, print a summary, or delete "
+                             "every entry")
+    parser.add_argument("--cache-dir", default=None,
+                        help=f"cache directory (default: ${ENV_CACHE_DIR})")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    ns = parser.parse_args(argv)
+
+    cache_dir = ns.cache_dir or os.environ.get(ENV_CACHE_DIR)
+    if not cache_dir:
+        parser.error(f"no cache directory: pass --cache-dir or set "
+                     f"${ENV_CACHE_DIR}")
+    cache = KernelDiskCache(cache_dir, _env_max_bytes())
+
+    if ns.action == "ls":
+        entries = sorted(cache.entries(), key=lambda e: e[2], reverse=True)
+        if ns.json:
+            print(json.dumps([{"key": k, "bytes": s, "mtime": m}
+                              for k, s, m in entries], indent=2))
+        else:
+            for key, size, mtime in entries:
+                when = datetime.datetime.fromtimestamp(mtime) \
+                    .strftime("%Y-%m-%d %H:%M:%S")
+                print(f"{key}  {size:>8} B  {when}")
+            print(f"{len(entries)} entr{'y' if len(entries) == 1 else 'ies'}")
+    elif ns.action == "stats":
+        stats = cache.stats()
+        if ns.json:
+            print(json.dumps(stats, indent=2))
+        else:
+            for key, value in stats.items():
+                print(f"{key:>14}: {value}")
+    else:                               # purge
+        removed = cache.purge()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.path}")
+    return 0
+
+
+if __name__ == "__main__":              # pragma: no cover - exercised via CLI
+    raise SystemExit(main())

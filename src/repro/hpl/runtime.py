@@ -96,6 +96,28 @@ class RuntimeStats:
         lookups = self.cache_hits + self.kernels_built
         return self.cache_hits / lookups if lookups else 0.0
 
+    # Disk-cache counters live in the *process-global* registry (the
+    # cache outlives any one runtime and is shared across runtimes), so
+    # they are surfaced here read-only and survive reset_runtime().
+
+    @property
+    def disk_cache_hits(self) -> int:
+        """Compiles served from the persistent cross-process cache."""
+        return int(trace.get_registry()
+                   .counter("hpl.disk_cache_hits").value)
+
+    @property
+    def disk_cache_misses(self) -> int:
+        """Persistent-cache lookups that fell through to the compiler."""
+        return int(trace.get_registry()
+                   .counter("hpl.disk_cache_misses").value)
+
+    @property
+    def disk_cache_bytes(self) -> int:
+        """Bytes of serialized IR written to the persistent cache."""
+        return int(trace.get_registry()
+                   .counter("hpl.disk_cache_bytes").value)
+
     def as_dict(self) -> dict:
         return {name: getattr(self, name) for name in self.FIELDS}
 
@@ -516,10 +538,16 @@ class HPLRuntime:
         with trace.span("build", category="hpl",
                         kernel=captured.kernel_name,
                         device=device.name) as sp:
+            disk_hits_before = self.stats.disk_cache_hits
             t0 = time.perf_counter()
             program = ocl.Program(device.context, captured.source).build()
             build_seconds = time.perf_counter() - t0
             sp.set_attr("build_seconds", build_seconds)
+            from .diskcache import active_cache
+            if active_cache() is not None:
+                sp.set_attr("disk_cache",
+                            "hit" if self.stats.disk_cache_hits
+                            > disk_hits_before else "miss")
         compiled = CompiledKernel(captured=captured, program=program,
                                   build_seconds=build_seconds)
         self._compiled[key] = compiled

@@ -64,6 +64,10 @@ class Device:
         return self.spec.max_work_item_sizes
 
     @property
+    def max_constant_buffer_size(self) -> int:
+        return self.spec.max_constant_buffer_bytes
+
+    @property
     def extensions(self) -> str:
         return self.spec.extensions
 

@@ -45,6 +45,8 @@ class DeviceSpec:
     local_mem_bytes: int = 48 * 1024
     max_work_group_size: int = 1024
     max_work_item_sizes: tuple = (1024, 1024, 64)
+    #: per-buffer ``__constant`` size limit (OpenCL minimum: 64 KB)
+    max_constant_buffer_bytes: int = 64 * 1024
     #: fixed kernel-launch overhead, microseconds
     launch_overhead_us: float = 8.0
     #: host<->device interconnect bandwidth, GB/s (PCIe for GPUs)

@@ -8,7 +8,7 @@ import numpy as np
 
 from ...clc.types import CLType, PointerType, ScalarType
 from ...errors import (InvalidKernelArgs, InvalidWorkDimension,
-                       InvalidWorkGroupSize)
+                       InvalidWorkGroupSize, OutOfResources)
 
 
 def _as_tuple(size) -> tuple[int, ...]:
@@ -35,7 +35,8 @@ class NDRange:
         if any(g <= 0 for g in gsize):
             raise InvalidWorkDimension(f"empty global domain {gsize}")
         if local_size is None:
-            lsize = self._default_local(gsize, max_work_group_size)
+            lsize = self._default_local(gsize, max_work_group_size,
+                                        max_work_item_sizes)
         else:
             lsize = _as_tuple(local_size)
             if len(lsize) != len(gsize):
@@ -64,15 +65,22 @@ class NDRange:
         self.total_groups = int(np.prod(self.num_groups))
 
     @staticmethod
-    def _default_local(gsize: tuple[int, ...], cap: int) -> tuple[int, ...]:
+    def _default_local(gsize: tuple[int, ...], cap: int,
+                       item_caps=(1 << 30,) * 3) -> tuple[int, ...]:
         """Pick a local size the way the HPL runtime does: the largest
         power-of-two divisor of each dimension whose product stays within
-        the device limit (at most 256 items, a universally safe default)."""
+        the device limit (at most 256 items, a universally safe default).
+
+        Each dimension is additionally clamped to the device's
+        per-dimension ``max_work_item_sizes`` cap, so the auto-picked
+        default always passes the validation the explicit path enforces.
+        """
         budget = min(cap, 256)
         lsize = []
-        for g in gsize:
+        for g, dim_cap in zip(gsize, item_caps):
+            limit = min(budget, dim_cap)
             l = 1
-            while l * 2 <= budget and g % (l * 2) == 0 and l * 2 <= 256:
+            while l * 2 <= limit and g % (l * 2) == 0:
                 l *= 2
             lsize.append(l)
             budget = max(1, budget // l)
@@ -167,8 +175,14 @@ class LocalBinding:
     nbytes: int
 
 
-def check_args(kernel, args) -> None:
-    """Validate binding kinds/counts against the kernel signature."""
+def check_args(kernel, args, spec=None) -> None:
+    """Validate binding kinds/counts against the kernel signature.
+
+    With a :class:`~repro.ocl.devicedb.DeviceSpec` the address-space
+    checks become device-aware: a ``__constant`` pointer parameter must
+    be fed a constant-space buffer that fits the device's constant
+    buffer size limit (``CL_DEVICE_MAX_CONSTANT_BUFFER_SIZE``).
+    """
     params = kernel.params
     if len(args) != len(params):
         raise InvalidKernelArgs(
@@ -189,10 +203,24 @@ def check_args(kernel, args) -> None:
             elif not isinstance(arg, BufferBinding):
                 raise InvalidKernelArgs(
                     f"argument {param.name!r} must be a buffer")
-            elif arg.array.dtype != ptype.pointee.np_dtype:
-                raise InvalidKernelArgs(
-                    f"buffer dtype {arg.array.dtype} does not match "
-                    f"parameter {param.name!r} element type "
-                    f"{ptype.pointee}")
+            else:
+                if arg.array.dtype != ptype.pointee.np_dtype:
+                    raise InvalidKernelArgs(
+                        f"buffer dtype {arg.array.dtype} does not match "
+                        f"parameter {param.name!r} element type "
+                        f"{ptype.pointee}")
+                if arg.space != ptype.address_space:
+                    raise InvalidKernelArgs(
+                        f"argument {param.name!r} is a "
+                        f"__{ptype.address_space} pointer but the bound "
+                        f"buffer lives in __{arg.space} memory")
+                if (ptype.address_space == "constant" and spec is not None
+                        and arg.array.nbytes
+                        > spec.max_constant_buffer_bytes):
+                    raise OutOfResources(
+                        f"__constant argument {param.name!r} is "
+                        f"{arg.array.nbytes} B, but {spec.name} caps "
+                        f"constant buffers at "
+                        f"{spec.max_constant_buffer_bytes} B")
         else:  # pragma: no cover - signature rules prevent this
             raise InvalidKernelArgs(f"unsupported parameter type {ptype}")

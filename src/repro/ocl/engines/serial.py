@@ -80,7 +80,7 @@ class SerialEngine:
         kernel = self.program.functions.get(kernel_name)
         if kernel is None or not kernel.is_kernel:
             raise InvalidKernelArgs(f"no kernel named {kernel_name!r}")
-        check_args(kernel, args)
+        check_args(kernel, args, self.spec)
         nd = NDRange(global_size, local_size,
                      max_work_group_size=self.spec.max_work_group_size,
                      max_work_item_sizes=self.spec.max_work_item_sizes)

@@ -2,11 +2,23 @@
 
 from __future__ import annotations
 
-from ..clc import compile_source
+from ..clc import compile_source, preprocess
 from ..clc.ir import ProgramIR
-from ..errors import BuildProgramFailure, CompileError, InvalidValue
+from ..errors import (BuildProgramFailure, CompileError, InvalidDevice,
+                      InvalidValue)
 from .context import Context
 from .kernel_obj import Kernel
+
+
+def _disk_cache():
+    """The process's persistent kernel cache, or None when disabled.
+
+    Imported lazily: the cache lives in :mod:`repro.hpl.diskcache` (the
+    layer that configures it), and ``repro.ocl`` must not depend on
+    ``repro.hpl`` at import time.
+    """
+    from ..hpl import diskcache
+    return diskcache.active_cache()
 
 
 class Program:
@@ -16,7 +28,19 @@ class Program:
     per-device checks a vendor compiler would do (e.g. rejecting kernels
     that require ``cl_khr_fp64`` on a device without double support, which
     is exactly why the paper's EP benchmark cannot run on the Quadro FX
-    380).  Diagnostics end up in :attr:`build_log`, like a real build log.
+    380).  Build status and diagnostics are tracked **per device**, as
+    ``clBuildProgram(devices=...)`` semantics require: :attr:`build_logs`
+    maps device name to its latest log, :meth:`built_for` answers whether
+    a device has an executable, and enqueueing a kernel on a device the
+    program was never built for raises
+    :class:`~repro.errors.InvalidProgramExecutable` (in the queue).
+
+    When a persistent kernel cache is active (``HPL_CACHE_DIR`` or
+    ``hpl.configure(cache_dir=...)``), the compile step is served from
+    disk when possible: the cache key covers the preprocessed source,
+    build options, compiler version and device fp64 caps, so a hit is
+    always safe to reuse; per-device validation still runs on every
+    build.
     """
 
     def __init__(self, context: Context, source: str) -> None:
@@ -25,32 +49,107 @@ class Program:
         self.context = context
         self.source = source
         self.ir: ProgramIR | None = None
-        self.build_log = ""
-        self._built = False
+        #: device name -> diagnostics of that device's latest build
+        self.build_logs: dict[str, str] = {}
+        #: devices (by identity) holding a current program executable
+        self._built_devices: set = set()
+        self._last_log = ""
+
+    # -- build ----------------------------------------------------------------
 
     def build(self, options: str = "", devices=None) -> "Program":
         devices = list(devices) if devices is not None \
             else list(self.context.devices)
-        try:
-            self.ir = compile_source(self.source, options)
-        except CompileError as exc:
-            self.build_log = str(exc)
-            raise BuildProgramFailure(str(exc), build_log=self.build_log) \
-                from exc
-        issues = []
         for dev in devices:
-            for fn in self.ir.kernels.values():
+            if dev not in self.context.devices:
+                raise InvalidDevice(
+                    f"{dev.name} is not part of the program's context")
+
+        ir = self._compile(options, devices)
+
+        issues: dict[str, list[str]] = {}
+        for dev in devices:
+            for fn in ir.kernels.values():
                 if fn.uses_fp64 and not dev.supports_fp64:
-                    issues.append(
+                    issues.setdefault(dev.name, []).append(
                         f"{dev.name}: kernel {fn.name!r} uses double "
                         "precision but the device does not support "
                         "cl_khr_fp64")
+        self.ir = ir
+        for dev in devices:
+            if dev.name in issues:
+                self._built_devices.discard(dev)
+                self.build_logs[dev.name] = "\n".join(issues[dev.name])
+            else:
+                self._built_devices.add(dev)
+                self.build_logs[dev.name] = "build succeeded"
         if issues:
-            self.build_log = "\n".join(issues)
-            raise BuildProgramFailure(issues[0], build_log=self.build_log)
-        self.build_log = "build succeeded"
-        self._built = True
+            flat = [msg for msgs in issues.values() for msg in msgs]
+            self._last_log = "\n".join(flat)
+            raise BuildProgramFailure(flat[0], build_log=self._last_log)
+        self._last_log = "build succeeded"
         return self
+
+    def _compile(self, options: str, devices) -> ProgramIR:
+        """Front-end run, served from the disk cache when possible.
+
+        A failed (re)build leaves the program consistently unbuilt: no
+        IR, no built devices, and the failure log on every requested
+        device — never a stale ``built`` flag over a failure log.
+        """
+        cache = _disk_cache()
+        key = None
+        if cache is not None:
+            try:
+                preprocessed = preprocess(self.source, options)
+            except CompileError:
+                preprocessed = None     # report it through the build path
+            if preprocessed is not None:
+                caps = tuple(sorted(
+                    {"fp64" if d.supports_fp64 else "nofp64"
+                     for d in devices}))
+                key = cache.key_of(preprocessed, options, caps)
+                hit = cache.get(key)
+                if hit is not None:
+                    return hit
+        try:
+            ir = compile_source(self.source, options)
+        except CompileError as exc:
+            self.ir = None
+            self._built_devices.clear()
+            self._last_log = str(exc)
+            for dev in devices:
+                self.build_logs[dev.name] = self._last_log
+            raise BuildProgramFailure(str(exc),
+                                      build_log=self._last_log) from exc
+        if cache is not None and key is not None:
+            cache.put(key, ir)
+        return ir
+
+    # -- build status -------------------------------------------------------
+
+    @property
+    def build_log(self) -> str:
+        """Diagnostics of the most recent :meth:`build` call (all
+        requested devices combined); see :attr:`build_logs` for the
+        per-device logs."""
+        return self._last_log
+
+    def built_for(self, device) -> bool:
+        """Whether ``device`` holds a current executable of this program."""
+        return self.ir is not None and device in self._built_devices
+
+    @property
+    def built_devices(self) -> list:
+        """Devices with a current executable, in context order."""
+        return [d for d in self.context.devices if self.built_for(d)]
+
+    @property
+    def _built(self) -> bool:
+        """Back-compat view: built for at least one device."""
+        return self.ir is not None and bool(self._built_devices)
+
+    # -- kernels ------------------------------------------------------------
 
     @property
     def kernel_names(self) -> list[str]:
@@ -70,8 +169,13 @@ class Program:
 
     def _require_built(self) -> None:
         if not self._built:
-            raise InvalidValue("program is not built; call build() first")
+            raise InvalidValue("program is not built for any device; "
+                               "call build() first")
 
     def __repr__(self) -> str:
-        state = "built" if self._built else "unbuilt"
+        if self._built:
+            names = ", ".join(d.name for d in self.built_devices)
+            state = f"built for [{names}]"
+        else:
+            state = "unbuilt"
         return f"<Program {state}, {len(self.source)} chars>"

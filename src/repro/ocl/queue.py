@@ -40,7 +40,7 @@ import itertools
 import numpy as np
 
 from .. import trace
-from ..errors import InvalidValue
+from ..errors import InvalidProgramExecutable, InvalidValue
 from .api import command_status, command_type, queue_properties
 from .buffer import Buffer
 from .context import Context
@@ -270,6 +270,12 @@ class CommandQueue:
         ``clSetKernelArg`` semantics require); the kernel body runs —
         and reads its buffers — when the command executes.
         """
+        if not kernel.program.built_for(self.device):
+            raise InvalidProgramExecutable(
+                f"kernel {kernel.name!r} enqueued on {self.device.name}, "
+                "but its program holds no executable for that device "
+                "(build(devices=...) never included it, or its build "
+                "failed)")
         args = kernel.bound_args()
         name = kernel.name
         program_ir = kernel.program.ir
