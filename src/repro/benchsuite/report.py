@@ -148,6 +148,33 @@ def format_warm_cache_disk(row: dict) -> str:
     return "\n".join(out)
 
 
+def format_opt_pipeline(row: dict) -> str:
+    """Render the middle-end pipeline experiment (O0 vs O2 engines)."""
+    out = ["Optimizing middle-end: tree interpreters (-O0) vs optimized "
+           "bytecode (-O2)", _rule(),
+           f"{'Benchmark':<20}{'O0 exec s':>12}{'O2 exec s':>12}"
+           f"{'Speedup':>10}", _rule()]
+    for name, r in row["benchmarks"].items():
+        out.append(f"{name:<20}{r['o0_seconds']:>12.4f}"
+                   f"{r['o2_seconds']:>12.4f}{r['speedup']:>9.2f}x")
+    passes = ", ".join(f"{name} x{runs}" for name, runs
+                       in sorted(row["cold_pass_runs"].items()))
+    out += [_rule(),
+            f"{'geomean speedup':<34}{row['geomean_speedup']:>11.2f}x",
+            f"{'cold pass runs':<34}  {passes}",
+            f"{'warm clc compiles / pass runs':<34}"
+            f"{row['warm_clc_compiles']:>12} / {row['warm_pass_runs']}",
+            f"{'warm == cold results':<34}"
+            f"{str(row['warm_results_identical']):>12}",
+            f"{'serial-O0 == serial-O2 == vector-O2':<34}"
+            f"{str(row['differential_identical']):>12}",
+            f"{'verified':<34}{str(row['verified']):>12}",
+            _rule()]
+    if row.get("output"):
+        out.append(f"wrote {row['output']}")
+    return "\n".join(out)
+
+
 def format_warm_cache(row: dict) -> str:
     """Render the §V-B first-vs-later invocation comparison."""
     out = ["§V-B: kernel binary reuse (EP class " + row["class"] + ")",

@@ -375,6 +375,212 @@ def run_warm_cache_disk(cache_dir=None,
     return row
 
 
+# -- optimizing middle-end: O0 vs O2, cold vs warm, serial vs vector ----------
+
+def _problems_opt_tiny() -> dict:
+    """Minimal valid instances of all five benchmarks, small enough for
+    the *serial* reference engine to execute them in seconds — the
+    differential legs of the opt-pipeline experiment run every work-item
+    one by one."""
+    return {
+        "EP": ep.ep_problem("S", shift=14),
+        "Floyd-Warshall": floyd.floyd_problem(64, n_run=16),
+        "Matrix transpose": transpose.transpose_problem(256, n_run=16),
+        "Spmv": spmv.spmv_problem(512, n_run=64),
+        "Reduction": reduction.reduction_problem(1 << 12, n_run=1 << 10),
+    }
+
+
+def _opt_pipeline_child(engine: str = "vector", tiny: bool = False) -> None:
+    """One measured process of the opt-pipeline experiment.
+
+    The optimization level arrives through ``$HPL_OPT_LEVEL`` (set by
+    the spawner) and the cache through ``$HPL_CACHE_DIR``; ``engine``
+    selects the execution engine for every simulated device.  Prints a
+    JSON record with per-benchmark wall times and checksums plus the
+    process-global compile/pass counters that prove (or disprove) that
+    a warm start touched the middle end.
+    """
+    import json
+    import time
+
+    from .. import trace
+    from ..clc.passes import default_opt_level
+    from ..ocl.devicedb import DEFAULT_DEVICES
+    from ..ocl.platform import set_platform_devices
+
+    if engine != "vector":
+        set_platform_devices(DEFAULT_DEVICES, engine)
+    problems = _problems_opt_tiny() if tiny else _problems_warm_cache()
+    rows = {}
+    for name, problem in problems.items():
+        reset_runtime()
+        module = _BENCH_MODULES[name]
+        t0 = time.perf_counter()
+        run = module.run_hpl(problem, TESLA)
+        wall = time.perf_counter() - t0
+        # engine execution time: the measured wall clock minus the
+        # (wall-clock) capture/codegen and compile costs also inside it
+        exec_wall = max(0.0, wall - run.build_seconds
+                        - run.hpl_overhead_seconds)
+        rows[name] = {
+            "wall_seconds": wall,
+            "exec_wall_seconds": exec_wall,
+            "build_seconds": run.build_seconds,
+            "sim_kernel_seconds": run.kernel_seconds,
+            "verified": bool(module.verify(run, problem)),
+            "checksum": _checksum(run.output),
+        }
+    counters = trace.get_registry().snapshot()["counters"]
+    prefix, tprefix = "clc.pass_", "clc.pass_seconds_"
+    print(json.dumps({
+        "engine": engine,
+        "opt_level": default_opt_level(),
+        "benchmarks": rows,
+        "exec_wall_seconds": sum(r["exec_wall_seconds"]
+                                 for r in rows.values()),
+        "clc_compiles": counters.get("clc.compiles", 0),
+        "pass_runs": {k[len(prefix):]: v for k, v in counters.items()
+                      if k.startswith(prefix)
+                      and not k.startswith(tprefix)},
+        "pass_seconds": {k[len(tprefix):]: v for k, v in counters.items()
+                         if k.startswith(tprefix)},
+        "disk_cache_hits": counters.get("hpl.disk_cache_hits", 0),
+        "verified": all(r["verified"] for r in rows.values()),
+    }))
+
+
+def _spawn_opt_pipeline_child(cache_dir, opt_level: int,
+                              engine: str = "vector",
+                              tiny: bool = False) -> dict:
+    import json
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = os.environ.copy()
+    env["HPL_OPT_LEVEL"] = str(opt_level)
+    if cache_dir is not None:
+        env["HPL_CACHE_DIR"] = str(cache_dir)
+    else:                       # keep uncached legs genuinely uncached
+        env.pop("HPL_CACHE_DIR", None)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.benchsuite.runner import _opt_pipeline_child as c; "
+         f"c(engine={engine!r}, tiny={tiny!r})"],
+        env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"opt-pipeline child failed ({proc.returncode}):\n"
+            f"{proc.stderr}")
+    return json.loads(proc.stdout)
+
+
+def run_opt_pipeline(cache_dir=None,
+                     output: str | None = "BENCH_opt_pipeline.json"
+                     ) -> dict:
+    """Middle-end pipeline experiment: O0 vs O2, cold vs warm, engines
+    cross-checked.  Three claims, each measured in fresh subprocesses:
+
+    * **speed** — all five benchmarks on the vector engine at ``-O0``
+      (tree-walking interpreters) vs ``-O2`` (optimized flat bytecode);
+      reports per-benchmark engine wall-clock speedups and their
+      geomean.
+    * **warm start** — a second ``-O2`` process against the same cache
+      must perform **zero** clc compiles and **zero** optimization
+      passes (the cached artifact already holds the lowered bytecode)
+      and reproduce the cold checksums exactly.
+    * **correctness** — serial-O0, serial-O2 and vector-O2 runs of tiny
+      instances must produce bit-identical checksums, so every pass and
+      both bytecode interpreters preserve semantics.
+
+    With ``output`` set, the row is written as JSON (the
+    ``BENCH_opt_pipeline.json`` trajectory artifact).
+    """
+    import json
+    import math
+    import tempfile
+
+    cleanup = None
+    if cache_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="hpl-opt-pipeline-")
+        cache_dir, cleanup = tmp.name, tmp
+    try:
+        o0_cold = _spawn_opt_pipeline_child(cache_dir, 0)
+        o2_cold = _spawn_opt_pipeline_child(cache_dir, 2)
+        o2_warm = _spawn_opt_pipeline_child(cache_dir, 2)
+        serial_o0 = _spawn_opt_pipeline_child(None, 0, "serial", tiny=True)
+        serial_o2 = _spawn_opt_pipeline_child(None, 2, "serial", tiny=True)
+        vector_o2 = _spawn_opt_pipeline_child(None, 2, "vector", tiny=True)
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    benchmarks = {}
+    speedups = []
+    for name in o0_cold["benchmarks"]:
+        o0_s = o0_cold["benchmarks"][name]["exec_wall_seconds"]
+        o2_s = o2_warm["benchmarks"][name]["exec_wall_seconds"]
+        speedup = o0_s / o2_s if o2_s > 0 else float("inf")
+        speedups.append(speedup)
+        benchmarks[name] = {"o0_seconds": o0_s, "o2_seconds": o2_s,
+                            "speedup": speedup}
+    geomean = math.exp(sum(math.log(s) for s in speedups)
+                       / len(speedups)) if speedups else 0.0
+
+    warm_pass_runs = sum(o2_warm["pass_runs"].values())
+    if o2_warm["clc_compiles"] or warm_pass_runs:
+        raise AssertionError(
+            "warm -O2 process was not served post-optimization artifacts "
+            f"from disk: {o2_warm['clc_compiles']} compile(s), "
+            f"{warm_pass_runs} pass run(s)")
+    diff_identical = all(
+        serial_o0["benchmarks"][n]["checksum"]
+        == serial_o2["benchmarks"][n]["checksum"]
+        == vector_o2["benchmarks"][n]["checksum"]
+        for n in serial_o0["benchmarks"])
+    if not diff_identical:
+        raise AssertionError(
+            "serial-O0 / serial-O2 / vector-O2 checksums diverge: "
+            + json.dumps({n: [serial_o0["benchmarks"][n]["checksum"],
+                              serial_o2["benchmarks"][n]["checksum"],
+                              vector_o2["benchmarks"][n]["checksum"]]
+                          for n in serial_o0["benchmarks"]}))
+
+    row = {
+        "benchmarks": benchmarks,
+        "geomean_speedup": geomean,
+        "o0_exec_seconds": o0_cold["exec_wall_seconds"],
+        "o2_exec_seconds": o2_warm["exec_wall_seconds"],
+        "opt_levels": {"o0": o0_cold["opt_level"],
+                       "o2": o2_cold["opt_level"]},
+        "cold_pass_runs": o2_cold["pass_runs"],
+        "cold_pass_seconds": o2_cold["pass_seconds"],
+        "warm_clc_compiles": o2_warm["clc_compiles"],
+        "warm_pass_runs": warm_pass_runs,
+        "warm_disk_cache_hits": o2_warm["disk_cache_hits"],
+        "warm_results_identical": all(
+            o2_cold["benchmarks"][n]["checksum"]
+            == o2_warm["benchmarks"][n]["checksum"]
+            for n in o2_cold["benchmarks"]),
+        "differential_identical": diff_identical,
+        "verified": all(leg["verified"] for leg in
+                        (o0_cold, o2_cold, o2_warm,
+                         serial_o0, serial_o2, vector_o2)),
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
+
+
 # -- §VII cluster extension: multi-device overlap ------------------------------
 
 def run_cluster(n: int = 1 << 14, reps: int = 4) -> dict:
@@ -456,6 +662,25 @@ def _cli_targets() -> dict:
         "warm": (run_warm_cache, report.format_warm_cache),
         "warm-cache": (run_warm_cache_disk,
                        report.format_warm_cache_disk),
+        "opt-pipeline": (run_opt_pipeline, report.format_opt_pipeline),
+    }
+
+
+def _middle_end_meta() -> dict:
+    """Effective opt level plus this process's per-pass run counts and
+    accumulated pass time — attached to every ``--json`` result."""
+    from .. import trace
+    from ..clc.passes import default_opt_level
+
+    counters = trace.get_registry().snapshot()["counters"]
+    prefix, tprefix = "clc.pass_", "clc.pass_seconds_"
+    return {
+        "opt_level": default_opt_level(),
+        "pass_runs": {k[len(prefix):]: v for k, v in counters.items()
+                      if k.startswith(prefix)
+                      and not k.startswith(tprefix)},
+        "pass_seconds": {k[len(tprefix):]: v for k, v in counters.items()
+                         if k.startswith(tprefix)},
     }
 
 
@@ -500,7 +725,9 @@ def main(argv: list[str] | None = None) -> int:
         with trace.span(f"target:{name}", category="benchsuite"):
             result = run(ns.ep_class) if name == "ep" else run()
         if ns.json:
-            print(json.dumps({name: result}, indent=2, default=str))
+            print(json.dumps({name: result,
+                              "_meta": _middle_end_meta()},
+                             indent=2, default=str))
         elif fmt is not None:
             print(fmt(result))
         else:

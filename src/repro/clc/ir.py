@@ -21,7 +21,9 @@ from .types import (SCALAR_TYPES, VOID, ArrayType, CLType, PointerType,
 #: :meth:`ProgramIR.from_bytes` rejects any other version with
 #: :class:`~repro.errors.IRSchemaError`, which the persistent kernel
 #: cache treats as a miss (forcing a clean recompile) instead of a crash.
-IR_SCHEMA_VERSION = 1
+#: v2: ProgramIR gained ``opt_level`` and ``bytecode`` (the middle-end's
+#: post-optimization artifact, see :mod:`repro.clc.lower`).
+IR_SCHEMA_VERSION = 2
 
 #: magic prefix identifying a serialized ProgramIR blob
 _IR_MAGIC = b"HPLIR"
@@ -216,6 +218,10 @@ class ProgramIR:
     """A compiled translation unit: kernels plus helper functions."""
     functions: dict = field(default_factory=dict)   # name -> Function
     source: str = ""
+    #: opt level the middle-end ran at (0 = tree only, no bytecode)
+    opt_level: int = 0
+    #: :class:`repro.clc.lower.ProgramBytecode` or None at O0
+    bytecode: object = None
 
     @property
     def kernels(self) -> dict:
@@ -237,6 +243,7 @@ class ProgramIR:
         payload, or a schema-version mismatch — never a bare crash, so
         cache layers can treat any failure as a miss.
         """
+        from . import lower  # noqa: F401  (registers bytecode nodes)
         if not isinstance(data, (bytes, bytearray)) \
                 or not bytes(data).startswith(_IR_MAGIC):
             raise IRSchemaError("not a serialized ProgramIR (bad magic)")
@@ -350,3 +357,12 @@ _NODE_CLASSES = {
     if isinstance(obj, type) and is_dataclass(obj)
     and obj.__module__ == __name__
 }
+
+
+def register_node_classes(*classes) -> None:
+    """Add external dataclasses (e.g. the bytecode containers defined in
+    :mod:`repro.clc.lower`) to the reflective IR codec."""
+    for cls in classes:
+        if not is_dataclass(cls):  # pragma: no cover - programmer error
+            raise TypeError(f"{cls!r} is not a dataclass")
+        _NODE_CLASSES[cls.__name__] = cls

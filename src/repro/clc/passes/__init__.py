@@ -1,0 +1,24 @@
+"""Optimizing middle-end: the pass pipeline over the typed tree IR.
+
+See :mod:`repro.clc.passes.manager` for the pipeline itself and
+``docs/compiler.md`` for the full middle-end story.
+"""
+
+from .dce import DeadCodePass
+from .fold import FoldPass
+from .manager import (DEFAULT_OPT_LEVEL, MAX_PIPELINE_ROUNDS,
+                      PIPELINE_VERSION, default_opt_level, is_pure,
+                      map_expr, opt_signature, optimize_program,
+                      pipeline_passes, resolve_opt_level, run_pipeline,
+                      set_default_opt_level, walk_exprs, walk_stmts)
+from .strength import StrengthReducePass
+from .uniformity import GROUP, LAUNCH, VARYING, UniformityPass
+
+__all__ = [
+    "DEFAULT_OPT_LEVEL", "MAX_PIPELINE_ROUNDS", "PIPELINE_VERSION",
+    "default_opt_level", "set_default_opt_level", "resolve_opt_level",
+    "opt_signature", "optimize_program", "run_pipeline", "pipeline_passes",
+    "map_expr", "walk_exprs", "walk_stmts", "is_pure",
+    "FoldPass", "DeadCodePass", "StrengthReducePass", "UniformityPass",
+    "LAUNCH", "GROUP", "VARYING",
+]

@@ -80,10 +80,38 @@ __all__ = [
 ]
 
 
+_UNSET = object()
+
+
+def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET):
+    """Configure process-wide HPL runtime policy.
+
+    ``cache_dir`` enables the persistent kernel cache (``None`` disables
+    it); ``max_bytes`` caps its size.  ``opt_level`` sets the default
+    optimization level of kernel builds (0..2, ``None`` restores the
+    ``$HPL_OPT_LEVEL``/built-in default); per-build ``-O<n>`` /
+    ``-cl-opt-disable`` options still win.  Arguments that are not
+    passed leave their aspect untouched, so
+    ``hpl.configure(opt_level=1)`` does not disturb the cache setup.
+
+    Returns the active :class:`KernelDiskCache` (or ``None``) when the
+    call touched the cache configuration, else ``None``.
+    """
+    result = None
+    if cache_dir is not _UNSET or max_bytes is not None:
+        from . import diskcache
+        result = diskcache.configure(
+            None if cache_dir is _UNSET else cache_dir, max_bytes)
+    if opt_level is not _UNSET:
+        from ..clc.passes import set_default_opt_level
+        set_default_opt_level(opt_level)
+    return result
+
+
 def __getattr__(name):
     # lazy: keeps `python -m repro.hpl.diskcache` runnable without the
     # package having pre-imported the submodule under its own name
-    if name in ("configure", "KernelDiskCache"):
+    if name == "KernelDiskCache":
         from . import diskcache
-        return getattr(diskcache, name)
+        return diskcache.KernelDiskCache
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

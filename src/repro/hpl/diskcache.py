@@ -64,12 +64,20 @@ _ENTRY_SUFFIX = ".irbin"
 
 
 def cache_key(preprocessed_source: str, options: str = "",
-              device_caps=()) -> str:
+              device_caps=(), opt_signature: str = "") -> str:
     """Content-addressed key of one compile: sha256 over every input
-    that can change the produced IR or its validity on a device."""
+    that can change the produced IR or its validity on a device.
+
+    ``opt_signature`` (see :func:`repro.clc.passes.opt_signature`)
+    identifies the middle-end configuration — opt level, pass-pipeline
+    version and bytecode version — because entries store the
+    *post-optimization* artifact (IR + bytecode), not just the
+    front-end output.
+    """
     h = hashlib.sha256()
     for part in ("hpl-kernel-cache", __version__, str(IR_SCHEMA_VERSION),
-                 options, repr(tuple(device_caps)), preprocessed_source):
+                 options, repr(tuple(device_caps)), opt_signature,
+                 preprocessed_source):
         h.update(part.encode("utf-8"))
         h.update(b"\x00")
     return h.hexdigest()
@@ -86,9 +94,10 @@ class KernelDiskCache:
         self.path.mkdir(parents=True, exist_ok=True)
 
     def key_of(self, preprocessed_source: str, options: str = "",
-               device_caps=()) -> str:
+               device_caps=(), opt_signature: str = "") -> str:
         """See :func:`cache_key`."""
-        return cache_key(preprocessed_source, options, device_caps)
+        return cache_key(preprocessed_source, options, device_caps,
+                         opt_signature)
 
     # -- internal ----------------------------------------------------------
 

@@ -19,7 +19,19 @@ import numpy as np
 from ... import trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
-from ...clc.types import DOUBLE, PointerType, ScalarType
+from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
+                          L_ISDBL, L_ISFLOAT, L_LINE, L_NP, L_SCOST,
+                          OP_ADD, OP_ATOMIC,
+                          OP_BAND, OP_BARRIER, OP_BNOT, OP_BOR, OP_BREAK,
+                          OP_BUILTIN, OP_BXOR, OP_CALL, OP_CAST, OP_CASTF,
+                          OP_CEQ, OP_CGE, OP_CGT, OP_CLE, OP_CLT, OP_CNE,
+                          OP_CONST, OP_CONTINUE, OP_DECLARR, OP_DIV,
+                          OP_IF, OP_LAND, OP_LD, OP_LNOT, OP_LOOP,
+                          OP_LOR, OP_MOD,
+                          OP_MOV, OP_MUL, OP_NEG, OP_RET, OP_SELECT,
+                          OP_SHL, OP_SHR, OP_ST, OP_SUB, OP_WIQ,
+                          SPACE_GLOBAL, SPACE_LOCAL, linked_program)
+from ...clc.types import DOUBLE, SCALAR_TYPES, PointerType, ScalarType
 from ...errors import InvalidKernelArgs, KernelLaunchError, OutOfResources
 from ..costmodel import CostCounters
 from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
@@ -89,19 +101,33 @@ class SerialEngine:
                                      work_groups=nd.total_groups)
         ipg = nd.items_per_group
 
+        entry = self._bytecode_entry(kernel_name)
         with trace.span("engine_run", category="simcl", engine=self.name,
-                        kernel=kernel_name, work_items=nd.total_items):
+                        kernel=kernel_name, work_items=nd.total_items,
+                        bytecode=entry is not None):
             with np.errstate(all="ignore"):
-                for group in range(nd.total_groups):
-                    local_mems = self._make_local_mems(kernel, args)
-                    gens = []
-                    for within in range(ipg):
-                        flat = group * ipg + within
-                        state = self._item_state(kernel, args, flat,
-                                                 local_mems)
-                        gens.append(self._exec_kernel(kernel, state))
-                    self._drive_group(gens)
+                if entry is not None:
+                    self._run_bytecode(entry, kernel, args)
+                else:
+                    for group in range(nd.total_groups):
+                        local_mems = self._make_local_mems(kernel, args)
+                        gens = []
+                        for within in range(ipg):
+                            flat = group * ipg + within
+                            state = self._item_state(kernel, args, flat,
+                                                     local_mems)
+                            gens.append(self._exec_kernel(kernel, state))
+                        self._drive_group(gens)
         return self.counters
+
+    def _bytecode_entry(self, kernel_name: str):
+        """(linked code, KernelBytecode) when the program ships bytecode
+        this engine understands (O1+), else None (tree fallback)."""
+        pbc = getattr(self.program, "bytecode", None)
+        if pbc is None or getattr(pbc, "version", None) != BYTECODE_VERSION:
+            return None
+        self._linked = linked_program(pbc)
+        return self._linked.get(kernel_name)
 
     # -- group driving -------------------------------------------------------------
 
@@ -452,3 +478,334 @@ class SerialEngine:
             return np.int32(0)
         raise KernelLaunchError(
             f"helper {func.name!r} fell off the end without returning")
+
+    # -- bytecode interpreter (O1+) ------------------------------------------
+    #
+    # Same observable semantics as the tree walker above — identical
+    # numerics (every result goes through the same to_dtype coercions),
+    # identical memory/barrier counters, generators still yield at
+    # barriers so _drive_group keeps detecting divergence — but one flat
+    # dispatch per instruction instead of isinstance chains per node.
+
+    def _run_bytecode(self, entry, kernel, args) -> None:
+        code, kbc = entry
+        nd = self.nd
+        ipg = nd.items_per_group
+        scalar_binds = []
+        buffer_binds = []
+        local_params = []
+        for p, arg in zip(kbc.params, args):
+            if p[0] == "scalar":
+                dtype = SCALAR_TYPES[p[2]].np_dtype
+                scalar_binds.append((p[3], dtype.type(arg.value)))
+            elif isinstance(arg, BufferBinding):
+                buffer_binds.append((p[3], _SMem(arg.array, p[1])))
+            else:
+                local_params.append((p[3], p[1]))
+        for group in range(nd.total_groups):
+            local_mems = self._make_local_mems(kernel, args)
+            group_decls: dict[int, _SMem] = {}
+            gens = []
+            for within in range(ipg):
+                flat = group * ipg + within
+                gens.append(self._bc_item(code, kbc, flat, scalar_binds,
+                                          buffer_binds, local_params,
+                                          local_mems, group_decls))
+            self._drive_group(gens)
+
+    def _bc_item(self, code, kbc, flat, scalar_binds, buffer_binds,
+                 local_params, local_mems, group_decls):
+        regs: list = [None] * kbc.n_regs
+        mems: list = [None] * kbc.n_mems
+        for reg, value in scalar_binds:
+            regs[reg] = value
+        for slot, mem in buffer_binds:
+            mems[slot] = mem
+        for slot, name in local_params:
+            mems[slot] = local_mems[name]
+        ids = self.nd.item_ids(flat)
+        try:
+            yield from self._bc_span(code, 0, len(code), regs, mems, ids,
+                                     group_decls)
+        except _ReturnSignal:
+            pass
+
+    def _bc_span(self, code, pos, end, regs, mems, ids, gl):
+        counters = self.counters
+        while pos < end:
+            ins = code[pos]
+            op = ins[0]
+            if OP_ADD <= op <= OP_BXOR:
+                lhs = regs[ins[L_A]]
+                rhs = regs[ins[L_B]]
+                if op == OP_ADD:
+                    result = lhs + rhs
+                elif op == OP_SUB:
+                    result = lhs - rhs
+                elif op == OP_MUL:
+                    result = lhs * rhs
+                elif op == OP_DIV:
+                    result = c_div(lhs, rhs, ins[L_ISFLOAT])
+                elif op == OP_MOD:
+                    result = c_imod(lhs, rhs)
+                elif op == OP_SHL:
+                    result = c_shl(lhs, rhs)
+                elif op == OP_SHR:
+                    result = c_shr(lhs, rhs)
+                elif op == OP_BAND:
+                    result = lhs & rhs
+                elif op == OP_BOR:
+                    result = lhs | rhs
+                else:
+                    result = lhs ^ rhs
+                dtype = ins[L_NP]
+                regs[ins[L_DST]] = dtype.type(
+                    np.asarray(to_dtype(result, dtype)))
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += 1.0
+                else:
+                    counters.alu_ops += 1.0
+            elif OP_CEQ <= op <= OP_LOR:
+                lhs = regs[ins[L_A]]
+                rhs = regs[ins[L_B]]
+                if op == OP_CEQ:
+                    r = lhs == rhs
+                elif op == OP_CNE:
+                    r = lhs != rhs
+                elif op == OP_CLT:
+                    r = lhs < rhs
+                elif op == OP_CGT:
+                    r = lhs > rhs
+                elif op == OP_CLE:
+                    r = lhs <= rhs
+                elif op == OP_CGE:
+                    r = lhs >= rhs
+                elif op == OP_LAND:
+                    r = (lhs != 0) and (rhs != 0)
+                else:
+                    r = (lhs != 0) or (rhs != 0)
+                regs[ins[L_DST]] = np.int32(1) if r else np.int32(0)
+                counters.alu_ops += 1.0
+            elif op == OP_MOV:
+                regs[ins[L_DST]] = regs[ins[L_A]]
+            elif op == OP_LD:
+                slot, space = ins[L_AUX]
+                mem: _SMem = mems[slot]
+                idx = int(regs[ins[L_B]])
+                self._bounds(idx, mem, ins[L_LINE])
+                if space == SPACE_GLOBAL:
+                    counters.global_loads += 1
+                    counters.global_load_bytes += mem.array.dtype.itemsize
+                    counters.global_load_transactions += 1
+                elif space == SPACE_LOCAL:
+                    counters.local_accesses += 1
+                else:
+                    counters.alu_ops += 1
+                regs[ins[L_DST]] = mem.array[idx]
+            elif op == OP_ST:
+                value = regs[ins[L_C]]
+                slot, space = ins[L_AUX]
+                mem = mems[slot]
+                idx = int(regs[ins[L_B]])
+                self._bounds(idx, mem, ins[L_LINE])
+                mem.array[idx] = np.asarray(to_dtype(value,
+                                                     mem.array.dtype))
+                if space == SPACE_GLOBAL:
+                    counters.global_stores += 1
+                    counters.global_store_bytes += mem.array.dtype.itemsize
+                    counters.global_store_transactions += 1
+                elif space == SPACE_LOCAL:
+                    counters.local_accesses += 1
+            elif op == OP_CASTF or op == OP_CAST:
+                dtype = ins[L_NP]
+                regs[ins[L_DST]] = dtype.type(
+                    np.asarray(to_dtype(regs[ins[L_A]], dtype)))
+                if op == OP_CAST:
+                    if ins[L_ISDBL]:
+                        counters.fp64_ops += 1.0
+                    else:
+                        counters.alu_ops += 1.0
+            elif op == OP_CONST:
+                regs[ins[L_DST]] = ins[L_AUX]
+            elif op == OP_SELECT:
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += 1.0
+                else:
+                    counters.alu_ops += 1.0
+                regs[ins[L_DST]] = (regs[ins[L_B]]
+                                    if regs[ins[L_A]] != 0
+                                    else regs[ins[L_C]])
+            elif op == OP_NEG:
+                dtype = ins[L_NP]
+                regs[ins[L_DST]] = dtype.type(
+                    np.asarray(to_dtype(-regs[ins[L_A]], dtype)))
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += 1.0
+                else:
+                    counters.alu_ops += 1.0
+            elif op == OP_BNOT:
+                regs[ins[L_DST]] = ins[L_NP].type(~regs[ins[L_A]])
+                counters.alu_ops += 1.0
+            elif op == OP_LNOT:
+                regs[ins[L_DST]] = (np.int32(0) if regs[ins[L_A]] != 0
+                                    else np.int32(1))
+                counters.alu_ops += 1.0
+            elif op == OP_WIQ:
+                qcode, dim, name = ins[L_AUX]
+                if qcode == 0:
+                    value = np.int64(ids[("idx", "idy", "idz")[dim]])
+                elif qcode == 1:
+                    value = np.int64(ids[("lidx", "lidy", "lidz")[dim]])
+                elif qcode == 2:
+                    value = np.int64(ids[("gidx", "gidy", "gidz")[dim]])
+                elif qcode == 3:
+                    value = np.int32(self.nd.dim)
+                elif qcode == 4:
+                    value = np.int64(0)
+                else:
+                    value = np.int64(self.nd.size_of(name, dim))
+                regs[ins[L_DST]] = ins[L_NP].type(value)
+            elif op == OP_BUILTIN:
+                impl, arg_regs, _name = ins[L_AUX]
+                bargs = [regs[r] for r in arg_regs]
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += ins[L_SCOST]
+                else:
+                    counters.alu_ops += ins[L_SCOST]
+                dtype = ins[L_NP]
+                regs[ins[L_DST]] = dtype.type(
+                    np.asarray(to_dtype(impl(*bargs), dtype)))
+            elif op == OP_IF:
+                tlen, elen = ins[L_AUX]
+                body = pos + 1
+                if regs[ins[L_A]] != 0:
+                    yield from self._bc_span(code, body, body + tlen,
+                                             regs, mems, ids, gl)
+                else:
+                    yield from self._bc_span(code, body + tlen,
+                                             body + tlen + elen,
+                                             regs, mems, ids, gl)
+                pos = body + tlen + elen
+                continue
+            elif op == OP_LOOP:
+                clen, blen, ulen, is_do = ins[L_AUX]
+                cond_start = pos + 1
+                body_start = cond_start + clen
+                upd_start = body_start + blen
+                end_pos = upd_start + ulen
+                creg = ins[L_A]
+                first = is_do
+                iterations = 0
+                while True:
+                    if not first:
+                        yield from self._bc_span(code, cond_start,
+                                                 body_start, regs, mems,
+                                                 ids, gl)
+                        if not regs[creg] != 0:
+                            break
+                    first = False
+                    try:
+                        yield from self._bc_span(code, body_start,
+                                                 upd_start, regs, mems,
+                                                 ids, gl)
+                    except _BreakSignal:
+                        break
+                    except _ContinueSignal:
+                        pass
+                    if ulen:
+                        yield from self._bc_span(code, upd_start, end_pos,
+                                                 regs, mems, ids, gl)
+                    iterations += 1
+                    if iterations > _MAX_LOOP_ITERATIONS:
+                        raise KernelLaunchError(
+                            f"loop at line {ins[L_LINE]} exceeded "
+                            f"iteration limit")
+                pos = end_pos
+                continue
+            elif op == OP_BARRIER:
+                yield ins
+            elif op == OP_ATOMIC:
+                self._bc_atomic(ins, regs, mems)
+            elif op == OP_DECLARR:
+                slot, size, np_dtype, space, name, _nbytes = ins[L_AUX]
+                if space == SPACE_LOCAL:
+                    mem = gl.get(slot)
+                    if mem is None:
+                        mem = _SMem(np.zeros(size, dtype=np_dtype), name)
+                        gl[slot] = mem
+                    mems[slot] = mem
+                else:
+                    mems[slot] = _SMem(np.zeros(size, dtype=np_dtype),
+                                       name)
+            elif op == OP_CALL:
+                yield from self._bc_call(ins, regs, mems, ids, gl)
+            elif op == OP_BREAK:
+                raise _BreakSignal()
+            elif op == OP_CONTINUE:
+                raise _ContinueSignal()
+            elif op == OP_RET:
+                raise _ReturnSignal(regs[ins[L_A]]
+                                    if ins[L_A] >= 0 else None)
+            else:  # pragma: no cover
+                raise KernelLaunchError(f"bad opcode {op}")
+            pos += 1
+
+    def _bc_atomic(self, ins, regs, mems) -> None:
+        opstr, slot, space = ins[L_AUX]
+        mem: _SMem = mems[slot]
+        idx = int(regs[ins[L_B]])
+        self._bounds(idx, mem, ins[L_LINE])
+        dtype = mem.array.dtype
+        val = (np.asarray(to_dtype(regs[ins[L_C]], dtype))
+               if ins[L_C] >= 0 else dtype.type(1))
+        old = mem.array[idx]
+        if opstr in ("add", "inc"):
+            mem.array[idx] = old + val
+        elif opstr in ("sub", "dec"):
+            mem.array[idx] = old - val
+        elif opstr == "min":
+            mem.array[idx] = min(old, val)
+        elif opstr == "max":
+            mem.array[idx] = max(old, val)
+        counters = self.counters
+        if space == SPACE_LOCAL:
+            counters.local_accesses += 2
+        else:
+            itemsize = dtype.itemsize
+            counters.global_loads += 1
+            counters.global_stores += 1
+            counters.global_load_bytes += itemsize
+            counters.global_store_bytes += itemsize
+            counters.global_load_transactions += 1
+            counters.global_store_transactions += 1
+
+    def _bc_call(self, ins, regs, mems, ids, gl):
+        fname, binds, ret_np = ins[L_AUX]
+        ccode, ckbc = self._linked[fname]
+        cregs: list = [None] * ckbc.n_regs
+        cmems: list = [None] * ckbc.n_mems
+        for bind in binds:
+            if bind[0] == "mem":
+                cmems[bind[2]] = mems[bind[1]]
+            else:
+                pdt = bind[3]
+                cregs[bind[2]] = pdt.type(
+                    np.asarray(to_dtype(regs[bind[1]], pdt)))
+        gen = self._bc_span(ccode, 0, len(ccode), cregs, cmems, ids, gl)
+        try:
+            for _ in gen:
+                raise KernelLaunchError(
+                    "barrier() executed inside a helper function")
+        except _ReturnSignal as ret:
+            if ret_np is None:
+                regs[ins[L_DST]] = np.int32(0)
+            else:
+                regs[ins[L_DST]] = ret_np.type(
+                    np.asarray(to_dtype(ret.value, ret_np)))
+            return
+        if ret_np is not None:
+            raise KernelLaunchError(
+                f"helper {fname!r} fell off the end without returning")
+        regs[ins[L_DST]] = np.int32(0)
+        return
+        yield  # pragma: no cover - makes this a generator like _bc_span

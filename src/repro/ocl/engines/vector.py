@@ -22,7 +22,18 @@ import numpy as np
 from ... import trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
-from ...clc.types import DOUBLE, PointerType, ScalarType
+from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
+                          L_ISDBL, L_ISFLOAT, L_LINE, L_NP, L_UNI,
+                          L_VCOST, OP_ADD, OP_ATOMIC, OP_BAND, OP_BARRIER,
+                          OP_BNOT, OP_BOR, OP_BREAK, OP_BUILTIN, OP_BXOR,
+                          OP_CALL, OP_CAST, OP_CASTF, OP_CEQ, OP_CGE,
+                          OP_CGT, OP_CLE, OP_CLT, OP_CNE, OP_CONST,
+                          OP_CONTINUE, OP_DECLARR, OP_DIV, OP_IF, OP_LAND,
+                          OP_LD, OP_LNOT, OP_LOOP, OP_LOR, OP_MOD, OP_MOV,
+                          OP_MUL, OP_NEG, OP_RET, OP_SELECT, OP_SHL,
+                          OP_SHR, OP_ST, OP_SUB, OP_WIQ, SPACE_GLOBAL,
+                          SPACE_LOCAL, linked_program)
+from ...clc.types import DOUBLE, SCALAR_TYPES, PointerType, ScalarType
 from ...errors import InvalidKernelArgs, KernelLaunchError, OutOfResources
 from ..costmodel import CostCounters, count_transactions
 from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
@@ -72,6 +83,19 @@ class _Loop:
         self.continue_mask = np.zeros(n, dtype=bool)
 
 
+class _BFrame:
+    """One bytecode function activation: register/memory files."""
+
+    __slots__ = ("regs", "mems", "return_mask", "ret_value", "ret_np")
+
+    def __init__(self, n_regs: int, n_mems: int, ret_np=None) -> None:
+        self.regs: list = [None] * n_regs
+        self.mems: list = [None] * n_mems
+        self.return_mask = None    # lazily-created bool mask
+        self.ret_value = None
+        self.ret_np = ret_np
+
+
 class VectorEngine:
     """Execute one kernel launch over a whole NDRange in lock step."""
 
@@ -107,17 +131,30 @@ class VectorEngine:
         self.loops: list[_Loop] = []
         self._local_bytes = 0
 
-        frame = _Frame(self.n)
-        self._bind_args(frame, kernel, args)
-        self.frames.append(frame)
-
-        mask = np.ones(self.n, dtype=bool)
+        entry = self._bytecode_entry(kernel_name)
         with trace.span("engine_run", category="simcl", engine=self.name,
-                        kernel=kernel_name, work_items=self.n):
+                        kernel=kernel_name, work_items=self.n,
+                        bytecode=entry is not None):
             with np.errstate(all="ignore"):
-                self._run_block(kernel.body, mask)
-        self.frames.pop()
+                if entry is not None:
+                    self._run_bytecode(entry, kernel, args)
+                else:
+                    frame = _Frame(self.n)
+                    self._bind_args(frame, kernel, args)
+                    self.frames.append(frame)
+                    mask = np.ones(self.n, dtype=bool)
+                    self._run_block(kernel.body, mask)
+                    self.frames.pop()
         return self.counters
+
+    def _bytecode_entry(self, kernel_name: str):
+        """(linked code, KernelBytecode) when the program ships bytecode
+        this engine understands (O1+), else None (tree fallback)."""
+        pbc = getattr(self.program, "bytecode", None)
+        if pbc is None or getattr(pbc, "version", None) != BYTECODE_VERSION:
+            return None
+        self._linked = linked_program(pbc)
+        return self._linked.get(kernel_name)
 
     # -- argument binding ----------------------------------------------------------
 
@@ -520,3 +557,411 @@ class VectorEngine:
         if ret_dtype is None:
             return np.int32(0)
         return frame.ret_value
+
+    # -- bytecode interpreter (O1+) ------------------------------------------
+    #
+    # Same lane semantics and counters as the tree walker above, driven by
+    # the flat bytecode from repro.clc.lower.  Two structural wins over the
+    # tree: no isinstance dispatch per node, and instructions whose
+    # uniformity analysis proved them LAUNCH-uniform execute once as numpy
+    # scalars instead of length-n lane arrays (masked blends are skipped
+    # for their variable writes).  Cost counters still charge every
+    # logically-active lane, so the cost model is unchanged by how the
+    # host happens to evaluate an instruction.
+
+    def _run_bytecode(self, entry, kernel, args) -> None:
+        code, kbc = entry
+        frame = _BFrame(kbc.n_regs, kbc.n_mems)
+        for p, arg in zip(kbc.params, args):
+            if p[0] == "scalar":
+                dtype = SCALAR_TYPES[p[2]].np_dtype
+                frame.regs[p[3]] = dtype.type(arg.value)
+            elif isinstance(arg, BufferBinding):
+                frame.mems[p[3]] = _Mem(arg.array, "buffer", p[4], p[1])
+            else:   # LocalBinding
+                elem = SCALAR_TYPES[p[2]]
+                nelems = arg.nbytes // elem.size
+                self._account_local(arg.nbytes)
+                storage = np.zeros((self.nd.total_groups, nelems),
+                                   dtype=elem.np_dtype)
+                frame.mems[p[3]] = _Mem(storage, "local", "local", p[1])
+        self._bloops: list = []
+        self._dead = np.zeros(self.n, dtype=bool)
+        mask = np.ones(self.n, dtype=bool)
+        self._bx_span(code, 0, len(code), frame, mask, True)
+
+    def _bx_span(self, code, pos, end, frame, mask, full):
+        """Execute ``code[pos:end]`` under ``mask``; returns the
+        (possibly narrowed) ``(mask, full)`` the caller continues with.
+        Masks are never mutated in place — every narrowing makes a new
+        array — so returned masks are safe to alias."""
+        counters = self.counters
+        regs = frame.regs
+        mems = frame.mems
+        n = self.n
+        n_act = n if full else int(np.count_nonzero(mask))
+        while pos < end:
+            ins = code[pos]
+            op = ins[0]
+            if OP_ADD <= op <= OP_BXOR:
+                lhs = regs[ins[L_A]]
+                rhs = regs[ins[L_B]]
+                if op == OP_ADD:
+                    result = lhs + rhs
+                elif op == OP_SUB:
+                    result = lhs - rhs
+                elif op == OP_MUL:
+                    result = lhs * rhs
+                elif op == OP_DIV:
+                    result = c_div(lhs, rhs, ins[L_ISFLOAT])
+                elif op == OP_MOD:
+                    result = c_imod(lhs, rhs)
+                elif op == OP_SHL:
+                    result = c_shl(lhs, rhs)
+                elif op == OP_SHR:
+                    result = c_shr(lhs, rhs)
+                elif op == OP_BAND:
+                    result = lhs & rhs
+                elif op == OP_BOR:
+                    result = lhs | rhs
+                else:
+                    result = lhs ^ rhs
+                regs[ins[L_DST]] = to_dtype(result, ins[L_NP])
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += ins[L_VCOST] * n_act
+                else:
+                    counters.alu_ops += ins[L_VCOST] * n_act
+            elif OP_CEQ <= op <= OP_LOR:
+                lhs = regs[ins[L_A]]
+                rhs = regs[ins[L_B]]
+                if op == OP_CEQ:
+                    r = lhs == rhs
+                elif op == OP_CNE:
+                    r = lhs != rhs
+                elif op == OP_CLT:
+                    r = lhs < rhs
+                elif op == OP_CGT:
+                    r = lhs > rhs
+                elif op == OP_CLE:
+                    r = lhs <= rhs
+                elif op == OP_CGE:
+                    r = lhs >= rhs
+                elif op == OP_LAND:
+                    r = truth(lhs) & truth(rhs)
+                else:
+                    r = truth(lhs) | truth(rhs)
+                regs[ins[L_DST]] = np.asarray(r).astype(np.int32)
+                counters.alu_ops += n_act
+            elif op == OP_MOV:
+                value = regs[ins[L_A]]
+                if full or ins[L_UNI] == 2:
+                    regs[ins[L_DST]] = value
+                else:
+                    old = regs[ins[L_DST]]
+                    if old is None:
+                        old = ins[L_NP].type(0)
+                    regs[ins[L_DST]] = np.where(mask, value, old).astype(
+                        ins[L_NP], copy=False)
+            elif op == OP_LD:
+                slot, space = ins[L_AUX]
+                mem: _Mem = mems[slot]
+                idx = self._broadcast(regs[ins[L_B]]).astype(np.int64,
+                                                             copy=False)
+                self._check_bounds(idx, mem, mask, ins[L_LINE])
+                safe = np.clip(idx, 0, mem.size - 1)
+                if space == SPACE_GLOBAL:
+                    itemsize = mem.array.dtype.itemsize
+                    counters.global_loads += n_act
+                    counters.global_load_bytes += n_act * itemsize
+                    counters.global_load_transactions += \
+                        count_transactions(
+                            (safe if full else safe[mask]) * itemsize,
+                            self.warp_ids if full else self.warp_ids[mask],
+                            self.spec.segment_bytes)
+                    regs[ins[L_DST]] = mem.array[safe]
+                elif space == SPACE_LOCAL:
+                    counters.local_accesses += n_act
+                    regs[ins[L_DST]] = mem.array[self.group_flat, safe]
+                else:
+                    counters.alu_ops += n_act
+                    regs[ins[L_DST]] = mem.array[self.lane, safe]
+            elif op == OP_ST:
+                slot, space = ins[L_AUX]
+                mem = mems[slot]
+                idx = self._broadcast(regs[ins[L_B]]).astype(np.int64,
+                                                             copy=False)
+                self._check_bounds(idx, mem, mask, ins[L_LINE])
+                safe = np.clip(idx, 0, mem.size - 1)
+                valm = to_dtype(self._broadcast(regs[ins[L_C]]),
+                                mem.array.dtype)
+                safe_m = safe if full else safe[mask]
+                valm_m = valm if full else valm[mask]
+                if space == SPACE_GLOBAL:
+                    mem.array[safe_m] = valm_m
+                    itemsize = mem.array.dtype.itemsize
+                    counters.global_stores += n_act
+                    counters.global_store_bytes += n_act * itemsize
+                    counters.global_store_transactions += \
+                        count_transactions(
+                            safe_m * itemsize,
+                            self.warp_ids if full else self.warp_ids[mask],
+                            self.spec.segment_bytes)
+                elif space == SPACE_LOCAL:
+                    gf = self.group_flat if full else self.group_flat[mask]
+                    mem.array[gf, safe_m] = valm_m
+                    counters.local_accesses += n_act
+                else:
+                    ln = self.lane if full else self.lane[mask]
+                    mem.array[ln, safe_m] = valm_m
+                    counters.alu_ops += n_act
+            elif op == OP_CASTF or op == OP_CAST:
+                regs[ins[L_DST]] = to_dtype(regs[ins[L_A]], ins[L_NP])
+                if op == OP_CAST:
+                    if ins[L_ISDBL]:
+                        counters.fp64_ops += n_act
+                    else:
+                        counters.alu_ops += n_act
+            elif op == OP_CONST:
+                regs[ins[L_DST]] = ins[L_AUX]
+            elif op == OP_SELECT:
+                cond = truth(regs[ins[L_A]])
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += n_act
+                else:
+                    counters.alu_ops += n_act
+                regs[ins[L_DST]] = np.where(
+                    cond, regs[ins[L_B]], regs[ins[L_C]]).astype(
+                        ins[L_NP], copy=False)
+            elif op == OP_NEG:
+                regs[ins[L_DST]] = (-regs[ins[L_A]]).astype(ins[L_NP],
+                                                            copy=False)
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += n_act
+                else:
+                    counters.alu_ops += n_act
+            elif op == OP_BNOT:
+                regs[ins[L_DST]] = (~regs[ins[L_A]]).astype(ins[L_NP],
+                                                            copy=False)
+                counters.alu_ops += n_act
+            elif op == OP_LNOT:
+                regs[ins[L_DST]] = np.logical_not(
+                    truth(regs[ins[L_A]])).astype(np.int32)
+                counters.alu_ops += n_act
+            elif op == OP_WIQ:
+                qcode, dim, name = ins[L_AUX]
+                if qcode == 0:
+                    value = self.ids[("idx", "idy", "idz")[dim]]
+                elif qcode == 1:
+                    value = self.ids[("lidx", "lidy", "lidz")[dim]]
+                elif qcode == 2:
+                    value = self.ids[("gidx", "gidy", "gidz")[dim]]
+                elif qcode == 3:
+                    value = np.int32(self.nd.dim)
+                elif qcode == 4:
+                    value = np.int64(0)
+                else:
+                    value = np.int64(self.nd.size_of(name, dim))
+                regs[ins[L_DST]] = to_dtype(value, ins[L_NP])
+            elif op == OP_BUILTIN:
+                impl, arg_regs, _name = ins[L_AUX]
+                bargs = [regs[r] for r in arg_regs]
+                if ins[L_ISDBL]:
+                    counters.fp64_ops += ins[L_VCOST] * n_act
+                else:
+                    counters.alu_ops += ins[L_VCOST] * n_act
+                regs[ins[L_DST]] = to_dtype(impl(*bargs), ins[L_NP])
+            elif op == OP_IF:
+                tlen, elen = ins[L_AUX]
+                body = pos + 1
+                cond = regs[ins[L_A]]
+                if np.ndim(cond) == 0:
+                    # uniform branch: no mask ops, single taken side
+                    if cond != 0:
+                        mask, full = self._bx_span(code, body,
+                                                   body + tlen,
+                                                   frame, mask, full)
+                    elif elen:
+                        mask, full = self._bx_span(code, body + tlen,
+                                                   body + tlen + elen,
+                                                   frame, mask, full)
+                else:
+                    condb = truth(cond)
+                    tmask = mask & condb
+                    emask = mask & ~condb
+                    if tmask.any():
+                        out_t, _ = self._bx_span(code, body, body + tlen,
+                                                 frame, tmask, False)
+                    else:
+                        out_t = tmask
+                    if elen and emask.any():
+                        out_e, _ = self._bx_span(code, body + tlen,
+                                                 body + tlen + elen,
+                                                 frame, emask, False)
+                    else:
+                        out_e = emask
+                    mask = out_t | out_e
+                    full = bool(mask.all())
+                if not full and not mask.any():
+                    return mask, full
+                n_act = n if full else int(np.count_nonzero(mask))
+                pos = body + tlen + elen
+                continue
+            elif op == OP_LOOP:
+                clen, blen, ulen, is_do = ins[L_AUX]
+                cond_start = pos + 1
+                body_start = cond_start + clen
+                upd_start = body_start + blen
+                end_pos = upd_start + ulen
+                creg = ins[L_A]
+                active, afull = mask, full
+                first = is_do
+                iterations = 0
+                while True:
+                    if not first:
+                        if not (afull or active.any()):
+                            break
+                        active, afull = self._bx_span(
+                            code, cond_start, body_start, frame, active,
+                            afull)
+                        cond = regs[creg]
+                        if np.ndim(cond) == 0:
+                            if cond == 0:
+                                break
+                        else:
+                            condb = truth(cond)
+                            if not (afull and bool(condb.all())):
+                                active = active & condb
+                                afull = False
+                    first = False
+                    if not (afull or active.any()):
+                        break
+                    self._bloops.append(None)
+                    after, _ = self._bx_span(code, body_start, upd_start,
+                                             frame, active, afull)
+                    cm = self._bloops.pop()
+                    if cm is not None:
+                        after = after | cm
+                    afull = bool(after.all())
+                    if ulen and (afull or after.any()):
+                        self._bx_span(code, upd_start, end_pos, frame,
+                                      after, afull)
+                    active = after
+                    iterations += 1
+                    if iterations > _MAX_LOOP_ITERATIONS:
+                        raise KernelLaunchError(
+                            f"loop at line {ins[L_LINE]} exceeded "
+                            f"{_MAX_LOOP_ITERATIONS} iterations "
+                            f"(infinite loop?)")
+                if frame.return_mask is not None:
+                    mask = mask & ~frame.return_mask
+                    full = bool(mask.all())
+                    if not full and not mask.any():
+                        return mask, full
+                    n_act = n if full else int(np.count_nonzero(mask))
+                pos = end_pos
+                continue
+            elif op == OP_BARRIER:
+                if full:
+                    counters.barriers += self.nd.total_groups
+                else:
+                    counters.barriers += int(
+                        np.unique(self.group_flat[mask]).size)
+            elif op == OP_ATOMIC:
+                self._bx_atomic(ins, regs, mems, mask, full, n_act)
+            elif op == OP_DECLARR:
+                slot, size, np_dtype, space, name, nbytes = ins[L_AUX]
+                if mems[slot] is None:
+                    if space == SPACE_LOCAL:
+                        self._account_local(nbytes)
+                        storage = np.zeros((self.nd.total_groups, size),
+                                           dtype=np_dtype)
+                        mems[slot] = _Mem(storage, "local", "local", name)
+                    else:
+                        storage = np.zeros((n, size), dtype=np_dtype)
+                        mems[slot] = _Mem(storage, "private", "private",
+                                          name)
+            elif op == OP_CALL:
+                fname, binds, ret_np = ins[L_AUX]
+                ccode, ckbc = self._linked[fname]
+                cframe = _BFrame(ckbc.n_regs, ckbc.n_mems, ret_np)
+                for bind in binds:
+                    if bind[0] == "mem":
+                        cframe.mems[bind[2]] = mems[bind[1]]
+                    else:
+                        cframe.regs[bind[2]] = to_dtype(regs[bind[1]],
+                                                        bind[3])
+                self._bx_span(ccode, 0, len(ccode), cframe, mask, full)
+                if ret_np is None:
+                    regs[ins[L_DST]] = np.int32(0)
+                elif cframe.ret_value is not None:
+                    regs[ins[L_DST]] = cframe.ret_value
+                else:
+                    regs[ins[L_DST]] = ret_np.type(0)
+            elif op == OP_BREAK:
+                return self._dead, False
+            elif op == OP_CONTINUE:
+                cm = self._bloops[-1]
+                self._bloops[-1] = mask if cm is None else (cm | mask)
+                return self._dead, False
+            elif op == OP_RET:
+                if ins[L_A] >= 0 and frame.ret_np is not None:
+                    value = to_dtype(regs[ins[L_A]], frame.ret_np)
+                    prev = frame.ret_value
+                    if prev is None:
+                        prev = np.zeros(n, dtype=frame.ret_np)
+                    frame.ret_value = np.where(mask, value, prev).astype(
+                        frame.ret_np, copy=False)
+                if frame.return_mask is None:
+                    frame.return_mask = mask
+                else:
+                    frame.return_mask = frame.return_mask | mask
+                return self._dead, False
+            else:  # pragma: no cover
+                raise KernelLaunchError(f"bad opcode {op}")
+            pos += 1
+        return mask, full
+
+    def _bx_atomic(self, ins, regs, mems, mask, full, n_act) -> None:
+        opstr, slot, space = ins[L_AUX]
+        mem: _Mem = mems[slot]
+        idx = self._broadcast(regs[ins[L_B]]).astype(np.int64, copy=False)
+        self._check_bounds(idx, mem, mask, ins[L_LINE])
+        safe = np.clip(idx, 0, mem.size - 1)
+        safe_m = safe if full else safe[mask]
+        if ins[L_C] >= 0:
+            valm = to_dtype(self._broadcast(regs[ins[L_C]]),
+                            mem.array.dtype)
+            val = valm if full else valm[mask]
+        else:
+            val = np.ones(n_act, dtype=mem.array.dtype)
+        op = opstr
+        if op == "dec":
+            op = "sub"
+        counters = self.counters
+        if space == SPACE_LOCAL:
+            gf = self.group_flat if full else self.group_flat[mask]
+            index = (gf, safe_m)
+            counters.local_accesses += 2 * n_act
+        else:
+            index = safe_m
+            itemsize = mem.array.dtype.itemsize
+            counters.global_loads += n_act
+            counters.global_stores += n_act
+            counters.global_load_bytes += n_act * itemsize
+            counters.global_store_bytes += n_act * itemsize
+            tx = count_transactions(
+                safe_m * itemsize,
+                self.warp_ids if full else self.warp_ids[mask],
+                self.spec.segment_bytes)
+            counters.global_load_transactions += tx
+            counters.global_store_transactions += tx
+        if op in ("add", "inc"):
+            np.add.at(mem.array, index, val)
+        elif op == "sub":
+            np.subtract.at(mem.array, index, val)
+        elif op == "min":
+            np.minimum.at(mem.array, index, val)
+        elif op == "max":
+            np.maximum.at(mem.array, index, val)
+        else:  # pragma: no cover
+            raise KernelLaunchError(f"unknown atomic op {op!r}")

@@ -38,9 +38,14 @@ class Program:
     When a persistent kernel cache is active (``HPL_CACHE_DIR`` or
     ``hpl.configure(cache_dir=...)``), the compile step is served from
     disk when possible: the cache key covers the preprocessed source,
-    build options, compiler version and device fp64 caps, so a hit is
-    always safe to reuse; per-device validation still runs on every
-    build.
+    build options, compiler version, device fp64 caps and the
+    middle-end configuration (opt level, pass-pipeline and bytecode
+    versions), so a hit is always safe to reuse; per-device validation
+    still runs on every build.
+
+    The optimization level comes from the build options (``-O0``..
+    ``-O3``, with ``-cl-opt-disable`` forcing ``-O0``) and otherwise
+    from ``hpl.configure(opt_level=...)`` / ``$HPL_OPT_LEVEL``.
     """
 
     def __init__(self, context: Context, source: str) -> None:
@@ -91,12 +96,23 @@ class Program:
         return self
 
     def _compile(self, options: str, devices) -> ProgramIR:
-        """Front-end run, served from the disk cache when possible.
+        """Front-end + middle-end run, served from the disk cache when
+        possible.  Cached entries hold the *post-optimization* artifact
+        (tree IR plus lowered bytecode), so a warm start runs zero
+        compiles and zero optimization passes; the opt level is part of
+        the cache key via :func:`repro.clc.passes.opt_signature`.
 
         A failed (re)build leaves the program consistently unbuilt: no
         IR, no built devices, and the failure log on every requested
         device — never a stale ``built`` flag over a failure log.
         """
+        # lazy: repro.clc.passes reaches back into repro.ocl.engines for
+        # C arithmetic semantics, so importing it at module scope would
+        # be circular
+        from ..clc.passes import (opt_signature, optimize_program,
+                                  resolve_opt_level)
+
+        opt_level = resolve_opt_level(options)
         cache = _disk_cache()
         key = None
         if cache is not None:
@@ -108,7 +124,8 @@ class Program:
                 caps = tuple(sorted(
                     {"fp64" if d.supports_fp64 else "nofp64"
                      for d in devices}))
-                key = cache.key_of(preprocessed, options, caps)
+                key = cache.key_of(preprocessed, options, caps,
+                                   opt_signature(opt_level))
                 hit = cache.get(key)
                 if hit is not None:
                     return hit
@@ -122,6 +139,7 @@ class Program:
                 self.build_logs[dev.name] = self._last_log
             raise BuildProgramFailure(str(exc),
                                       build_log=self._last_log) from exc
+        optimize_program(ir, opt_level)
         if cache is not None and key is not None:
             cache.put(key, ir)
         return ir
