@@ -715,15 +715,42 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ep-class", default="S",
                         choices=("S", "W", "A", "B", "C"),
                         help="NAS class for the 'ep' target (default: S)")
+    parser.add_argument("--profile", action="store_true",
+                        help="enable the source-level kernel profiler and "
+                             "print the hottest source lines after each "
+                             "target")
+    parser.add_argument("--profile-out", metavar="PREFIX", default=None,
+                        help="write the collected kernel profiles as "
+                             "PREFIX.json and PREFIX.flame "
+                             "(implies --profile)")
     ns = parser.parse_args(argv)
 
     if ns.trace:
         trace.enable(fresh=True)
+    profiling = bool(ns.profile or ns.profile_out)
+    collected = []
+    was_profiling = False
+    if profiling:
+        from .. import prof
+        was_profiling = prof.is_enabled()
+        prof.enable()
+        prof.reset()
 
     for name in ns.targets:
         run, fmt = targets[name]
         with trace.span(f"target:{name}", category="benchsuite"):
             result = run(ns.ep_class) if name == "ep" else run()
+        if profiling:
+            from ..prof import get_profiler
+            from ..prof.core import merge_profiles
+            from ..prof.report import hotlines
+            drained = get_profiler().drain()
+            collected.extend(drained)
+            merged = merge_profiles(drained)
+            if merged:
+                print(f"\n-- kernel profile: {name} "
+                      "(hottest source lines) --")
+                print(hotlines(merged))
         if ns.json:
             print(json.dumps({name: result,
                               "_meta": _middle_end_meta()},
@@ -744,4 +771,18 @@ def main(argv: list[str] | None = None) -> int:
         else:
             trace.write_chrome_trace(ns.trace, spans)
         print(f"\nwrote {len(spans)} span(s) to {ns.trace}")
+
+    if ns.profile_out:
+        from ..prof.core import merge_profiles
+        from ..prof.report import flame, to_json
+        merged = merge_profiles(collected)
+        with open(ns.profile_out + ".json", "w", encoding="utf-8") as fh:
+            fh.write(to_json(merged) + "\n")
+        with open(ns.profile_out + ".flame", "w", encoding="utf-8") as fh:
+            fh.write(flame(merged))
+        print(f"\nwrote {len(merged)} kernel profile(s) to "
+              f"{ns.profile_out}.json / {ns.profile_out}.flame")
+    if profiling and not was_profiling:
+        from .. import prof
+        prof.disable()         # --profile must not outlive the run
     return 0

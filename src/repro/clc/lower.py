@@ -265,7 +265,7 @@ class _FuncLowerer:
     def _var_uniform(self, name: str) -> int:
         return int(self.uniform_vars.get(name, 0))
 
-    def _coerce(self, reg: int, src_type, dst_type) -> int:
+    def _coerce(self, reg: int, src_type, dst_type, line: int = 0) -> int:
         """Free cast (castf) when the value needs an uncounted implicit
         conversion the tree engines performed at assignment/call/return
         boundaries."""
@@ -273,7 +273,7 @@ class _FuncLowerer:
             return reg
         tmp = self._temp()
         self.code.append(Instr("castf", dst=tmp, a=reg,
-                               dtype=dst_type.name))
+                               dtype=dst_type.name, line=line))
         return tmp
 
     def _emit_mov(self, name: str, src: int, line: int) -> None:
@@ -301,7 +301,8 @@ class _FuncLowerer:
             self._var_reg(stmt.name, stmt.type)
             if stmt.init is not None:
                 src = self._expr(stmt.init)
-                src = self._coerce(src, stmt.init.type, stmt.type)
+                src = self._coerce(src, stmt.init.type, stmt.type,
+                                   stmt.line)
             else:
                 src = self._const_reg(stmt.type, 0)
             self._emit_mov(stmt.name, src, stmt.line)
@@ -359,7 +360,7 @@ class _FuncLowerer:
                     and not self.func.return_type.is_void:
                 src = self._expr(stmt.value)
                 src = self._coerce(src, stmt.value.type,
-                                   self.func.return_type)
+                                   self.func.return_type, stmt.line)
             else:
                 src = -1
             self.code.append(Instr("ret", a=src, line=stmt.line))
@@ -377,7 +378,8 @@ class _FuncLowerer:
             if target.name not in self.var_regs:
                 # scalar parameter written before any declaration
                 self._var_reg(target.name, target.type)
-            val = self._coerce(val, stmt.value.type, target.type)
+            val = self._coerce(val, stmt.value.type, target.type,
+                               stmt.line)
             self._emit_mov(target.name, val, stmt.line)
             return
         idx = self._expr(target.index)

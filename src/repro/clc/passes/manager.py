@@ -158,7 +158,63 @@ def optimize_program(program: I.ProgramIR, opt_level: int,
     with trace.span("optimize", category="clc", opt_level=level):
         run_pipeline(program, level, observer)
         program.bytecode = lower_program(program, level, PIPELINE_VERSION)
+        verify_line_info(program)
     return program
+
+
+#: bytecode ops the lowerer legitimately emits without source lines:
+#: parameter/constant materialization and work-item-id prologue queries.
+_LINE_EXEMPT_OPS = ("const", "wiq")
+
+
+def verify_line_info(program: I.ProgramIR) -> None:
+    """Check that lowering preserved source-line debug info.
+
+    The per-line profiler (:mod:`repro.prof`) attributes modeled cost to
+    kernel source lines through the ``line`` field of each bytecode
+    instruction, so an optimizer pass or the lowerer dropping line info
+    silently degrades attribution.  For every function whose *tree* IR is
+    fully line-annotated (all statements and expressions carry a
+    positive ``line``), every emitted instruction other than the exempt
+    prologue ops must carry one too.  Functions with incomplete tree
+    annotations — synthetic IR built by tests or tools — are skipped
+    rather than reported, since the lowerer cannot invent lines the
+    front-end never recorded.
+    """
+    if program.bytecode is None:
+        return
+    for func in program.functions.values():
+        annotated = True
+        for stmt in walk_stmts(func.body):
+            if getattr(stmt, "line", 0) <= 0:
+                annotated = False
+                break
+            for top in stmt_exprs(stmt):
+                for expr in walk_exprs(top):
+                    # constants lower to the exempt "const" op, and the
+                    # folding pass synthesizes them without lines
+                    if isinstance(expr, I.Const):
+                        continue
+                    if getattr(expr, "line", 0) <= 0:
+                        annotated = False
+                        break
+                if not annotated:
+                    break
+            if not annotated:
+                break
+        if not annotated:
+            continue
+        bc = program.bytecode.functions.get(func.name)
+        if bc is None:
+            continue
+        for ins in bc.instrs:
+            if ins.op in _LINE_EXEMPT_OPS:
+                continue
+            if ins.line <= 0:
+                raise AssertionError(
+                    f"lowering dropped line info: {func.name!r} emitted "
+                    f"{ins.op!r} (dst r{ins.dst}) with line=0 although the "
+                    "source tree is fully annotated")
 
 
 # -- IR walking helpers shared by the passes -------------------------------

@@ -83,15 +83,18 @@ __all__ = [
 _UNSET = object()
 
 
-def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET):
+def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
+              profile=_UNSET):
     """Configure process-wide HPL runtime policy.
 
     ``cache_dir`` enables the persistent kernel cache (``None`` disables
     it); ``max_bytes`` caps its size.  ``opt_level`` sets the default
     optimization level of kernel builds (0..2, ``None`` restores the
     ``$HPL_OPT_LEVEL``/built-in default); per-build ``-O<n>`` /
-    ``-cl-opt-disable`` options still win.  Arguments that are not
-    passed leave their aspect untouched, so
+    ``-cl-opt-disable`` options still win.  ``profile`` turns the
+    source-level kernel profiler (:mod:`repro.prof`) on or off; the
+    ``HPL_PROFILE`` environment variable sets the initial state.
+    Arguments that are not passed leave their aspect untouched, so
     ``hpl.configure(opt_level=1)`` does not disturb the cache setup.
 
     Returns the active :class:`KernelDiskCache` (or ``None``) when the
@@ -105,6 +108,12 @@ def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET):
     if opt_level is not _UNSET:
         from ..clc.passes import set_default_opt_level
         set_default_opt_level(opt_level)
+    if profile is not _UNSET:
+        from .. import prof
+        if profile:
+            prof.enable()
+        else:
+            prof.disable()
     return result
 
 

@@ -579,5 +579,12 @@ def get_device(fragment: str | int) -> HPLDevice:
 
 
 def reset_runtime() -> None:
-    """Forget devices, caches and statistics (primarily for tests)."""
+    """Forget devices, caches and statistics (primarily for tests).
+
+    Also drops collected kernel profiles; the profiler's enabled state
+    is preserved so resetting mid-run (the benchsuite does, between the
+    OpenCL and HPL variants) can't silently turn ``--profile`` off.
+    """
+    from .. import prof
     HPLRuntime.reset()
+    prof.reset()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ... import trace
+from ... import prof, trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
 from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
@@ -86,6 +86,8 @@ class SerialEngine:
     def __init__(self, program, spec) -> None:
         self.program = program
         self.spec = spec
+        #: per-launch profiler collector; None whenever profiling is off
+        self._col = None
 
     def run(self, kernel_name: str, args: list, global_size,
             local_size=None) -> CostCounters:
@@ -102,22 +104,32 @@ class SerialEngine:
         ipg = nd.items_per_group
 
         entry = self._bytecode_entry(kernel_name)
-        with trace.span("engine_run", category="simcl", engine=self.name,
-                        kernel=kernel_name, work_items=nd.total_items,
-                        bytecode=entry is not None):
-            with np.errstate(all="ignore"):
-                if entry is not None:
-                    self._run_bytecode(entry, kernel, args)
-                else:
-                    for group in range(nd.total_groups):
-                        local_mems = self._make_local_mems(kernel, args)
-                        gens = []
-                        for within in range(ipg):
-                            flat = group * ipg + within
-                            state = self._item_state(kernel, args, flat,
-                                                     local_mems)
-                            gens.append(self._exec_kernel(kernel, state))
-                        self._drive_group(gens)
+        self._col = prof.begin_launch(kernel_name, self.name, self.spec,
+                                      getattr(self.program, "source", ""),
+                                      nd.total_items, nd.total_groups)
+        try:
+            with trace.span("engine_run", category="simcl",
+                            engine=self.name, kernel=kernel_name,
+                            work_items=nd.total_items,
+                            bytecode=entry is not None):
+                with np.errstate(all="ignore"):
+                    if entry is not None:
+                        self._run_bytecode(entry, kernel, args)
+                    else:
+                        for group in range(nd.total_groups):
+                            local_mems = self._make_local_mems(kernel,
+                                                               args)
+                            gens = []
+                            for within in range(ipg):
+                                flat = group * ipg + within
+                                state = self._item_state(kernel, args,
+                                                         flat, local_mems)
+                                gens.append(self._exec_kernel(kernel,
+                                                              state))
+                            self._drive_group(gens)
+                prof.finish_launch(self._col, self.counters)
+        finally:
+            self._col = None
         return self.counters
 
     def _bytecode_entry(self, kernel_name: str):
@@ -152,6 +164,12 @@ class SerialEngine:
                         "barrier divergence: work-items of a group reached "
                         "different barrier() statements")
                 self.counters.barriers += 1
+                col = self._col
+                if col is not None:
+                    marker = next(iter(arrived.values()))
+                    line = (marker[L_LINE] if isinstance(marker, tuple)
+                            else getattr(marker, "line", 0))
+                    col.barrier(line, 1)
             live = [i for i in live if i not in finished]
             if not arrived:
                 break
@@ -286,12 +304,17 @@ class SerialEngine:
         self._bounds(idx, mem, stmt.line)
         mem.array[idx] = np.asarray(to_dtype(value, mem.array.dtype))
         itemsize = mem.array.dtype.itemsize
+        col = self._col
         if target.space in ("global", "constant"):
             self.counters.global_stores += 1
             self.counters.global_store_bytes += itemsize
             self.counters.global_store_transactions += 1
+            if col is not None:
+                col.mem(stmt.line, 1, itemsize, 1, True)
         elif target.space == "local":
             self.counters.local_accesses += 1
+            if col is not None:
+                col.local(stmt.line, 1)
 
     def _exec_atomic(self, stmt: I.AtomicRMW, state: _ItemState) -> None:
         mem: _SMem = state.env[stmt.target.name]
@@ -311,8 +334,11 @@ class SerialEngine:
         elif op == "max":
             mem.array[idx] = max(old, val)
         itemsize = dtype.itemsize
+        col = self._col
         if stmt.target.space == "local":
             self.counters.local_accesses += 2
+            if col is not None:
+                col.local(stmt.line, 2)
         else:
             self.counters.global_loads += 1
             self.counters.global_stores += 1
@@ -320,6 +346,9 @@ class SerialEngine:
             self.counters.global_store_bytes += itemsize
             self.counters.global_load_transactions += 1
             self.counters.global_store_transactions += 1
+            if col is not None:
+                col.mem(stmt.line, 1, itemsize, 1, False)
+                col.mem(stmt.line, 1, itemsize, 1, True)
 
     def _bounds(self, idx: int, mem: _SMem, line: int) -> None:
         if idx < 0 or idx >= mem.size:
@@ -333,11 +362,15 @@ class SerialEngine:
     def _truthy(value) -> bool:
         return bool(value != 0)
 
-    def _count(self, cost: float, type_) -> None:
-        if isinstance(type_, ScalarType) and type_ is DOUBLE:
+    def _count(self, cost: float, type_, line: int = 0) -> None:
+        is_double = isinstance(type_, ScalarType) and type_ is DOUBLE
+        if is_double:
             self.counters.fp64_ops += cost
         else:
             self.counters.alu_ops += cost
+        col = self._col
+        if col is not None:
+            col.op(line, 1, cost, is_double)
 
     def _eval(self, expr: I.Expr, state: _ItemState):
         if isinstance(expr, I.Const):
@@ -349,23 +382,30 @@ class SerialEngine:
             idx = int(self._eval(expr.index, state))
             self._bounds(idx, mem, expr.line)
             itemsize = mem.array.dtype.itemsize
+            col = self._col
             if expr.space in ("global", "constant"):
                 self.counters.global_loads += 1
                 self.counters.global_load_bytes += itemsize
                 self.counters.global_load_transactions += 1
+                if col is not None:
+                    col.mem(expr.line, 1, itemsize, 1, False)
             elif expr.space == "local":
                 self.counters.local_accesses += 1
+                if col is not None:
+                    col.local(expr.line, 1)
             else:
                 self.counters.alu_ops += 1
+                if col is not None:
+                    col.op(expr.line, 1, 1.0, False)
             return mem.array[idx]
         if isinstance(expr, I.Convert):
-            self._count(1.0, expr.type)
+            self._count(1.0, expr.type, expr.line)
             return expr.type.np_dtype.type(
                 np.asarray(to_dtype(self._eval(expr.operand, state),
                                     expr.type.np_dtype)))
         if isinstance(expr, I.Unary):
             operand = self._eval(expr.operand, state)
-            self._count(1.0, expr.type)
+            self._count(1.0, expr.type, expr.line)
             if expr.op == "-":
                 return expr.type.np_dtype.type(
                     np.asarray(to_dtype(-operand, expr.type.np_dtype)))
@@ -376,7 +416,7 @@ class SerialEngine:
             return self._eval_binary(expr, state)
         if isinstance(expr, I.Select):
             cond = self._truthy(self._eval(expr.cond, state))
-            self._count(1.0, expr.type)
+            self._count(1.0, expr.type, expr.line)
             branch = expr.then if cond else expr.otherwise
             return self._eval(branch, state)
         if isinstance(expr, I.CallBuiltin):
@@ -390,20 +430,20 @@ class SerialEngine:
         op = expr.op
         if op == "&&":
             # genuine short-circuit, unlike the lock-step vector engine
-            self._count(1.0, expr.type)
+            self._count(1.0, expr.type, expr.line)
             if not self._truthy(self._eval(expr.lhs, state)):
                 return np.int32(0)
             return np.int32(1 if self._truthy(self._eval(expr.rhs, state))
                             else 0)
         if op == "||":
-            self._count(1.0, expr.type)
+            self._count(1.0, expr.type, expr.line)
             if self._truthy(self._eval(expr.lhs, state)):
                 return np.int32(1)
             return np.int32(1 if self._truthy(self._eval(expr.rhs, state))
                             else 0)
         lhs = self._eval(expr.lhs, state)
         rhs = self._eval(expr.rhs, state)
-        self._count(1.0, expr.type)
+        self._count(1.0, expr.type, expr.line)
         if op in ("==", "!=", "<", ">", "<=", ">="):
             table = {"==": lhs == rhs, "!=": lhs != rhs, "<": lhs < rhs,
                      ">": lhs > rhs, "<=": lhs <= rhs, ">=": lhs >= rhs}
@@ -449,7 +489,7 @@ class SerialEngine:
             return np.int64(self.nd.size_of(name, dim))
         b = BUILTINS[name]
         args = [self._eval(a, state) for a in expr.args]
-        self._count(b.cost, expr.type)
+        self._count(b.cost, expr.type, expr.line)
         return expr.type.np_dtype.type(
             np.asarray(to_dtype(b.impl(*args), expr.type.np_dtype)))
 
@@ -532,6 +572,7 @@ class SerialEngine:
 
     def _bc_span(self, code, pos, end, regs, mems, ids, gl):
         counters = self.counters
+        col = self._col
         while pos < end:
             ins = code[pos]
             op = ins[0]
@@ -565,6 +606,8 @@ class SerialEngine:
                     counters.fp64_ops += 1.0
                 else:
                     counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, ins[L_ISDBL])
             elif OP_CEQ <= op <= OP_LOR:
                 lhs = regs[ins[L_A]]
                 rhs = regs[ins[L_B]]
@@ -586,6 +629,8 @@ class SerialEngine:
                     r = (lhs != 0) or (rhs != 0)
                 regs[ins[L_DST]] = np.int32(1) if r else np.int32(0)
                 counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, False)
             elif op == OP_MOV:
                 regs[ins[L_DST]] = regs[ins[L_A]]
             elif op == OP_LD:
@@ -594,13 +639,20 @@ class SerialEngine:
                 idx = int(regs[ins[L_B]])
                 self._bounds(idx, mem, ins[L_LINE])
                 if space == SPACE_GLOBAL:
+                    itemsize = mem.array.dtype.itemsize
                     counters.global_loads += 1
-                    counters.global_load_bytes += mem.array.dtype.itemsize
+                    counters.global_load_bytes += itemsize
                     counters.global_load_transactions += 1
+                    if col is not None:
+                        col.mem(ins[L_LINE], 1, itemsize, 1, False)
                 elif space == SPACE_LOCAL:
                     counters.local_accesses += 1
+                    if col is not None:
+                        col.local(ins[L_LINE], 1)
                 else:
                     counters.alu_ops += 1
+                    if col is not None:
+                        col.op(ins[L_LINE], 1, 1.0, False)
                 regs[ins[L_DST]] = mem.array[idx]
             elif op == OP_ST:
                 value = regs[ins[L_C]]
@@ -611,11 +663,16 @@ class SerialEngine:
                 mem.array[idx] = np.asarray(to_dtype(value,
                                                      mem.array.dtype))
                 if space == SPACE_GLOBAL:
+                    itemsize = mem.array.dtype.itemsize
                     counters.global_stores += 1
-                    counters.global_store_bytes += mem.array.dtype.itemsize
+                    counters.global_store_bytes += itemsize
                     counters.global_store_transactions += 1
+                    if col is not None:
+                        col.mem(ins[L_LINE], 1, itemsize, 1, True)
                 elif space == SPACE_LOCAL:
                     counters.local_accesses += 1
+                    if col is not None:
+                        col.local(ins[L_LINE], 1)
             elif op == OP_CASTF or op == OP_CAST:
                 dtype = ins[L_NP]
                 regs[ins[L_DST]] = dtype.type(
@@ -625,6 +682,8 @@ class SerialEngine:
                         counters.fp64_ops += 1.0
                     else:
                         counters.alu_ops += 1.0
+                    if col is not None:
+                        col.op(ins[L_LINE], 1, 1.0, ins[L_ISDBL])
             elif op == OP_CONST:
                 regs[ins[L_DST]] = ins[L_AUX]
             elif op == OP_SELECT:
@@ -632,6 +691,8 @@ class SerialEngine:
                     counters.fp64_ops += 1.0
                 else:
                     counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, ins[L_ISDBL])
                 regs[ins[L_DST]] = (regs[ins[L_B]]
                                     if regs[ins[L_A]] != 0
                                     else regs[ins[L_C]])
@@ -643,13 +704,19 @@ class SerialEngine:
                     counters.fp64_ops += 1.0
                 else:
                     counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, ins[L_ISDBL])
             elif op == OP_BNOT:
                 regs[ins[L_DST]] = ins[L_NP].type(~regs[ins[L_A]])
                 counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, False)
             elif op == OP_LNOT:
                 regs[ins[L_DST]] = (np.int32(0) if regs[ins[L_A]] != 0
                                     else np.int32(1))
                 counters.alu_ops += 1.0
+                if col is not None:
+                    col.op(ins[L_LINE], 1, 1.0, False)
             elif op == OP_WIQ:
                 qcode, dim, name = ins[L_AUX]
                 if qcode == 0:
@@ -672,6 +739,8 @@ class SerialEngine:
                     counters.fp64_ops += ins[L_SCOST]
                 else:
                     counters.alu_ops += ins[L_SCOST]
+                if col is not None:
+                    col.op(ins[L_LINE], 1, ins[L_SCOST], ins[L_ISDBL])
                 dtype = ins[L_NP]
                 regs[ins[L_DST]] = dtype.type(
                     np.asarray(to_dtype(impl(*bargs), dtype)))
@@ -768,8 +837,11 @@ class SerialEngine:
         elif opstr == "max":
             mem.array[idx] = max(old, val)
         counters = self.counters
+        col = self._col
         if space == SPACE_LOCAL:
             counters.local_accesses += 2
+            if col is not None:
+                col.local(ins[L_LINE], 2)
         else:
             itemsize = dtype.itemsize
             counters.global_loads += 1
@@ -778,6 +850,9 @@ class SerialEngine:
             counters.global_store_bytes += itemsize
             counters.global_load_transactions += 1
             counters.global_store_transactions += 1
+            if col is not None:
+                col.mem(ins[L_LINE], 1, itemsize, 1, False)
+                col.mem(ins[L_LINE], 1, itemsize, 1, True)
 
     def _bc_call(self, ins, regs, mems, ids, gl):
         fname, binds, ret_np = ins[L_AUX]

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ... import trace
+from ... import prof, trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
 from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
@@ -104,6 +104,8 @@ class VectorEngine:
     def __init__(self, program, spec) -> None:
         self.program = program
         self.spec = spec
+        #: per-launch profiler collector; None whenever profiling is off
+        self._col = None
 
     # -- public ------------------------------------------------------------------
 
@@ -132,19 +134,27 @@ class VectorEngine:
         self._local_bytes = 0
 
         entry = self._bytecode_entry(kernel_name)
-        with trace.span("engine_run", category="simcl", engine=self.name,
-                        kernel=kernel_name, work_items=self.n,
-                        bytecode=entry is not None):
-            with np.errstate(all="ignore"):
-                if entry is not None:
-                    self._run_bytecode(entry, kernel, args)
-                else:
-                    frame = _Frame(self.n)
-                    self._bind_args(frame, kernel, args)
-                    self.frames.append(frame)
-                    mask = np.ones(self.n, dtype=bool)
-                    self._run_block(kernel.body, mask)
-                    self.frames.pop()
+        self._col = prof.begin_launch(kernel_name, self.name, self.spec,
+                                      getattr(self.program, "source", ""),
+                                      self.n, nd.total_groups)
+        try:
+            with trace.span("engine_run", category="simcl",
+                            engine=self.name, kernel=kernel_name,
+                            work_items=self.n,
+                            bytecode=entry is not None):
+                with np.errstate(all="ignore"):
+                    if entry is not None:
+                        self._run_bytecode(entry, kernel, args)
+                    else:
+                        frame = _Frame(self.n)
+                        self._bind_args(frame, kernel, args)
+                        self.frames.append(frame)
+                        mask = np.ones(self.n, dtype=bool)
+                        self._run_block(kernel.body, mask)
+                        self.frames.pop()
+                prof.finish_launch(self._col, self.counters)
+        finally:
+            self._col = None
         return self.counters
 
     def _bytecode_entry(self, kernel_name: str):
@@ -232,6 +242,10 @@ class VectorEngine:
             cond = truth(self._broadcast(self._eval(stmt.cond, mask)))
             then_mask = mask & cond
             else_mask = mask & ~cond
+            col = self._col
+            if col is not None:
+                col.branch(stmt.line, int(np.count_nonzero(mask)),
+                           int(np.count_nonzero(then_mask)))
             out_then = (self._run_block(stmt.then, then_mask)
                         if then_mask.any() else then_mask)
             out_else = (self._run_block(stmt.otherwise, else_mask)
@@ -255,6 +269,9 @@ class VectorEngine:
         if isinstance(stmt, I.BarrierStmt):
             active_groups = int(np.unique(self.group_flat[mask]).size)
             self.counters.barriers += active_groups
+            col = self._col
+            if col is not None:
+                col.barrier(stmt.line, active_groups)
             return mask
         raise KernelLaunchError(
             f"vector engine cannot execute {type(stmt).__name__}")
@@ -315,20 +332,29 @@ class VectorEngine:
         safe = np.clip(idx, 0, mem.size - 1)
         valm = to_dtype(self._broadcast(value), mem.array.dtype)
         active = int(np.count_nonzero(mask))
+        col = self._col
         if mem.kind == "buffer":
             mem.array[safe[mask]] = valm[mask]
             itemsize = mem.array.dtype.itemsize
-            self.counters.global_stores += active
-            self.counters.global_store_bytes += active * itemsize
-            self.counters.global_store_transactions += count_transactions(
+            tx = count_transactions(
                 safe[mask] * itemsize, self.warp_ids[mask],
                 self.spec.segment_bytes)
+            self.counters.global_stores += active
+            self.counters.global_store_bytes += active * itemsize
+            self.counters.global_store_transactions += tx
+            if col is not None:
+                col.mem(stmt.line, active, active * itemsize, tx, True,
+                        self.n)
         elif mem.kind == "local":
             mem.array[self.group_flat[mask], safe[mask]] = valm[mask]
             self.counters.local_accesses += active
+            if col is not None:
+                col.local(stmt.line, active, self.n)
         else:  # private array
             mem.array[self.lane[mask], safe[mask]] = valm[mask]
             self.counters.alu_ops += active  # address arithmetic
+            if col is not None:
+                col.op(stmt.line, active, 1.0, False, self.n)
 
     def _exec_atomic(self, stmt: I.AtomicRMW, mask: np.ndarray) -> None:
         frame = self.frames[-1]
@@ -347,9 +373,12 @@ class VectorEngine:
         op = stmt.op
         if op == "dec":
             op, val = "sub", val
+        col = self._col
         if mem.kind == "local":
             index = (self.group_flat[mask], safe[mask])
             self.counters.local_accesses += 2 * len(val)
+            if col is not None:
+                col.local(stmt.line, 2 * len(val), self.n)
         else:
             index = safe[mask]
             itemsize = mem.array.dtype.itemsize
@@ -363,6 +392,9 @@ class VectorEngine:
                                     self.spec.segment_bytes)
             self.counters.global_load_transactions += tx
             self.counters.global_store_transactions += tx
+            if col is not None:
+                col.mem(stmt.line, n, n * itemsize, tx, False, self.n)
+                col.mem(stmt.line, n, n * itemsize, tx, True, self.n)
         if op in ("add", "inc"):
             np.add.at(mem.array, index, val)
         elif op == "sub":
@@ -391,12 +423,17 @@ class VectorEngine:
             return np.broadcast_to(arr, (self.n,))
         return arr
 
-    def _count_alu(self, cost: float, mask: np.ndarray, type_) -> None:
+    def _count_alu(self, cost: float, mask: np.ndarray, type_,
+                   line: int = 0) -> None:
         active = int(np.count_nonzero(mask))
-        if isinstance(type_, ScalarType) and type_ is DOUBLE:
+        is_double = isinstance(type_, ScalarType) and type_ is DOUBLE
+        if is_double:
             self.counters.fp64_ops += cost * active
         else:
             self.counters.alu_ops += cost * active
+        col = self._col
+        if col is not None:
+            col.op(line, active, cost, is_double, self.n)
 
     def _eval(self, expr: I.Expr, mask: np.ndarray):
         frame = self.frames[-1]
@@ -411,7 +448,7 @@ class VectorEngine:
             return self._eval_load(expr, mask)
         if isinstance(expr, I.Convert):
             value = self._eval(expr.operand, mask)
-            self._count_alu(1.0, mask, expr.type)
+            self._count_alu(1.0, mask, expr.type, expr.line)
             return to_dtype(value, expr.type.np_dtype)
         if isinstance(expr, I.Unary):
             return self._eval_unary(expr, mask)
@@ -421,7 +458,7 @@ class VectorEngine:
             cond = truth(self._broadcast(self._eval(expr.cond, mask)))
             a = self._broadcast(self._eval(expr.then, mask))
             b = self._broadcast(self._eval(expr.otherwise, mask))
-            self._count_alu(1.0, mask, expr.type)
+            self._count_alu(1.0, mask, expr.type, expr.line)
             return np.where(cond, a, b).astype(expr.type.np_dtype,
                                                copy=False)
         if isinstance(expr, I.CallBuiltin):
@@ -439,23 +476,32 @@ class VectorEngine:
         self._check_bounds(idx, mem, mask, expr.line)
         safe = np.clip(idx, 0, mem.size - 1)
         active = int(np.count_nonzero(mask))
+        col = self._col
         if mem.kind == "buffer":
             itemsize = mem.array.dtype.itemsize
-            self.counters.global_loads += active
-            self.counters.global_load_bytes += active * itemsize
-            self.counters.global_load_transactions += count_transactions(
+            tx = count_transactions(
                 safe[mask] * itemsize, self.warp_ids[mask],
                 self.spec.segment_bytes)
+            self.counters.global_loads += active
+            self.counters.global_load_bytes += active * itemsize
+            self.counters.global_load_transactions += tx
+            if col is not None:
+                col.mem(expr.line, active, active * itemsize, tx, False,
+                        self.n)
             return mem.array[safe]
         if mem.kind == "local":
             self.counters.local_accesses += active
+            if col is not None:
+                col.local(expr.line, active, self.n)
             return mem.array[self.group_flat, safe]
         self.counters.alu_ops += active
+        if col is not None:
+            col.op(expr.line, active, 1.0, False, self.n)
         return mem.array[self.lane, safe]
 
     def _eval_unary(self, expr: I.Unary, mask: np.ndarray):
         operand = self._eval(expr.operand, mask)
-        self._count_alu(1.0, mask, expr.type)
+        self._count_alu(1.0, mask, expr.type, expr.line)
         if expr.op == "-":
             return (-operand).astype(expr.type.np_dtype, copy=False)
         if expr.op == "~":
@@ -468,7 +514,7 @@ class VectorEngine:
         lhs = self._eval(expr.lhs, mask)
         rhs = self._eval(expr.rhs, mask)
         op = expr.op
-        self._count_alu(_OP_COST.get(op, 1.0), mask, expr.type)
+        self._count_alu(_OP_COST.get(op, 1.0), mask, expr.type, expr.line)
         dtype = expr.type.np_dtype if isinstance(expr.type,
                                                  ScalarType) else None
         if op == "+":
@@ -519,7 +565,7 @@ class VectorEngine:
             return self._workitem_query(name, expr.args)
         b = BUILTINS[name]
         args = [self._eval(a, mask) for a in expr.args]
-        self._count_alu(b.cost, mask, expr.type)
+        self._count_alu(b.cost, mask, expr.type, expr.line)
         result = b.impl(*args)
         return to_dtype(result, expr.type.np_dtype)
 
@@ -598,6 +644,7 @@ class VectorEngine:
         counters = self.counters
         regs = frame.regs
         mems = frame.mems
+        col = self._col
         n = self.n
         n_act = n if full else int(np.count_nonzero(mask))
         while pos < end:
@@ -631,6 +678,9 @@ class VectorEngine:
                     counters.fp64_ops += ins[L_VCOST] * n_act
                 else:
                     counters.alu_ops += ins[L_VCOST] * n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, ins[L_VCOST],
+                           ins[L_ISDBL], n)
             elif OP_CEQ <= op <= OP_LOR:
                 lhs = regs[ins[L_A]]
                 rhs = regs[ins[L_B]]
@@ -652,6 +702,8 @@ class VectorEngine:
                     r = truth(lhs) | truth(rhs)
                 regs[ins[L_DST]] = np.asarray(r).astype(np.int32)
                 counters.alu_ops += n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, 1.0, False, n)
             elif op == OP_MOV:
                 value = regs[ins[L_A]]
                 if full or ins[L_UNI] == 2:
@@ -671,19 +723,26 @@ class VectorEngine:
                 safe = np.clip(idx, 0, mem.size - 1)
                 if space == SPACE_GLOBAL:
                     itemsize = mem.array.dtype.itemsize
+                    tx = count_transactions(
+                        (safe if full else safe[mask]) * itemsize,
+                        self.warp_ids if full else self.warp_ids[mask],
+                        self.spec.segment_bytes)
                     counters.global_loads += n_act
                     counters.global_load_bytes += n_act * itemsize
-                    counters.global_load_transactions += \
-                        count_transactions(
-                            (safe if full else safe[mask]) * itemsize,
-                            self.warp_ids if full else self.warp_ids[mask],
-                            self.spec.segment_bytes)
+                    counters.global_load_transactions += tx
+                    if col is not None:
+                        col.mem(ins[L_LINE], n_act, n_act * itemsize,
+                                tx, False, n)
                     regs[ins[L_DST]] = mem.array[safe]
                 elif space == SPACE_LOCAL:
                     counters.local_accesses += n_act
+                    if col is not None:
+                        col.local(ins[L_LINE], n_act, n)
                     regs[ins[L_DST]] = mem.array[self.group_flat, safe]
                 else:
                     counters.alu_ops += n_act
+                    if col is not None:
+                        col.op(ins[L_LINE], n_act, 1.0, False, n)
                     regs[ins[L_DST]] = mem.array[self.lane, safe]
             elif op == OP_ST:
                 slot, space = ins[L_AUX]
@@ -699,21 +758,28 @@ class VectorEngine:
                 if space == SPACE_GLOBAL:
                     mem.array[safe_m] = valm_m
                     itemsize = mem.array.dtype.itemsize
+                    tx = count_transactions(
+                        safe_m * itemsize,
+                        self.warp_ids if full else self.warp_ids[mask],
+                        self.spec.segment_bytes)
                     counters.global_stores += n_act
                     counters.global_store_bytes += n_act * itemsize
-                    counters.global_store_transactions += \
-                        count_transactions(
-                            safe_m * itemsize,
-                            self.warp_ids if full else self.warp_ids[mask],
-                            self.spec.segment_bytes)
+                    counters.global_store_transactions += tx
+                    if col is not None:
+                        col.mem(ins[L_LINE], n_act, n_act * itemsize,
+                                tx, True, n)
                 elif space == SPACE_LOCAL:
                     gf = self.group_flat if full else self.group_flat[mask]
                     mem.array[gf, safe_m] = valm_m
                     counters.local_accesses += n_act
+                    if col is not None:
+                        col.local(ins[L_LINE], n_act, n)
                 else:
                     ln = self.lane if full else self.lane[mask]
                     mem.array[ln, safe_m] = valm_m
                     counters.alu_ops += n_act
+                    if col is not None:
+                        col.op(ins[L_LINE], n_act, 1.0, False, n)
             elif op == OP_CASTF or op == OP_CAST:
                 regs[ins[L_DST]] = to_dtype(regs[ins[L_A]], ins[L_NP])
                 if op == OP_CAST:
@@ -721,6 +787,8 @@ class VectorEngine:
                         counters.fp64_ops += n_act
                     else:
                         counters.alu_ops += n_act
+                    if col is not None:
+                        col.op(ins[L_LINE], n_act, 1.0, ins[L_ISDBL], n)
             elif op == OP_CONST:
                 regs[ins[L_DST]] = ins[L_AUX]
             elif op == OP_SELECT:
@@ -729,6 +797,8 @@ class VectorEngine:
                     counters.fp64_ops += n_act
                 else:
                     counters.alu_ops += n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, 1.0, ins[L_ISDBL], n)
                 regs[ins[L_DST]] = np.where(
                     cond, regs[ins[L_B]], regs[ins[L_C]]).astype(
                         ins[L_NP], copy=False)
@@ -739,14 +809,20 @@ class VectorEngine:
                     counters.fp64_ops += n_act
                 else:
                     counters.alu_ops += n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, 1.0, ins[L_ISDBL], n)
             elif op == OP_BNOT:
                 regs[ins[L_DST]] = (~regs[ins[L_A]]).astype(ins[L_NP],
                                                             copy=False)
                 counters.alu_ops += n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, 1.0, False, n)
             elif op == OP_LNOT:
                 regs[ins[L_DST]] = np.logical_not(
                     truth(regs[ins[L_A]])).astype(np.int32)
                 counters.alu_ops += n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, 1.0, False, n)
             elif op == OP_WIQ:
                 qcode, dim, name = ins[L_AUX]
                 if qcode == 0:
@@ -769,6 +845,9 @@ class VectorEngine:
                     counters.fp64_ops += ins[L_VCOST] * n_act
                 else:
                     counters.alu_ops += ins[L_VCOST] * n_act
+                if col is not None:
+                    col.op(ins[L_LINE], n_act, ins[L_VCOST],
+                           ins[L_ISDBL], n)
                 regs[ins[L_DST]] = to_dtype(impl(*bargs), ins[L_NP])
             elif op == OP_IF:
                 tlen, elen = ins[L_AUX]
@@ -788,6 +867,9 @@ class VectorEngine:
                     condb = truth(cond)
                     tmask = mask & condb
                     emask = mask & ~condb
+                    if col is not None:
+                        col.branch(ins[L_LINE], n_act,
+                                   int(np.count_nonzero(tmask)))
                     if tmask.any():
                         out_t, _ = self._bx_span(code, body, body + tlen,
                                                  frame, tmask, False)
@@ -862,10 +944,13 @@ class VectorEngine:
                 continue
             elif op == OP_BARRIER:
                 if full:
-                    counters.barriers += self.nd.total_groups
+                    active_groups = self.nd.total_groups
                 else:
-                    counters.barriers += int(
+                    active_groups = int(
                         np.unique(self.group_flat[mask]).size)
+                counters.barriers += active_groups
+                if col is not None:
+                    col.barrier(ins[L_LINE], active_groups)
             elif op == OP_ATOMIC:
                 self._bx_atomic(ins, regs, mems, mask, full, n_act)
             elif op == OP_DECLARR:
@@ -938,10 +1023,13 @@ class VectorEngine:
         if op == "dec":
             op = "sub"
         counters = self.counters
+        col = self._col
         if space == SPACE_LOCAL:
             gf = self.group_flat if full else self.group_flat[mask]
             index = (gf, safe_m)
             counters.local_accesses += 2 * n_act
+            if col is not None:
+                col.local(ins[L_LINE], 2 * n_act, self.n)
         else:
             index = safe_m
             itemsize = mem.array.dtype.itemsize
@@ -955,6 +1043,11 @@ class VectorEngine:
                 self.spec.segment_bytes)
             counters.global_load_transactions += tx
             counters.global_store_transactions += tx
+            if col is not None:
+                col.mem(ins[L_LINE], n_act, n_act * itemsize, tx, False,
+                        self.n)
+                col.mem(ins[L_LINE], n_act, n_act * itemsize, tx, True,
+                        self.n)
         if op in ("add", "inc"):
             np.add.at(mem.array, index, val)
         elif op == "sub":

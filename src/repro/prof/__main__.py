@@ -1,0 +1,137 @@
+"""``python -m repro.prof`` — kernel profiler command line.
+
+Two modes of operation:
+
+``run`` profiles one of the built-in benchmark kernels on a simulated
+device and renders the result directly::
+
+    python -m repro.prof run reduction                  # annotated source
+    python -m repro.prof run spmv --format roofline
+    python -m repro.prof run ep --format json -o ep.json
+
+``annotate`` / ``flame`` / ``roofline`` re-render a profile that was
+previously saved as JSON (by ``run --format json`` or the benchsuite's
+``--profile-out``)::
+
+    python -m repro.prof annotate ep.json
+    python -m repro.prof flame ep.json -o ep.flame
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import enable, get_profiler, reset
+from .core import merge_profiles
+from .report import annotate, flame, from_json, roofline, to_json
+
+
+def _run_ep(device: str) -> None:
+    from ..benchsuite.datasets import EP_CLASSES
+    from ..benchsuite.ep.driver import ep_problem, run_hpl
+    # class S scaled down to 8192 pairs: small enough to simulate in a
+    # second, big enough that the LCG arithmetic dominates the fixed
+    # per-item output traffic (EP must profile as compute-bound)
+    run_hpl(ep_problem("S", shift=EP_CLASSES["S"] - 13),
+            device_name=device)
+
+
+def _run_spmv(device: str) -> None:
+    from ..benchsuite.spmv.driver import run_hpl, spmv_problem
+    run_hpl(spmv_problem(n_run=256), device_name=device)
+
+
+def _run_reduction(device: str) -> None:
+    from ..benchsuite.reduction.driver import reduction_problem, run_hpl
+    # one element per work item (256 lanes x 64 groups)
+    run_hpl(reduction_problem(n_run=1 << 14), device_name=device)
+
+
+_TARGETS = {
+    "ep": _run_ep,
+    "spmv": _run_spmv,
+    "reduction": _run_reduction,
+}
+
+_FORMATS = ("annotate", "flame", "json", "roofline")
+
+
+def _render(profiles: list, fmt: str) -> str:
+    if fmt == "annotate":
+        return "\n\n".join(annotate(p) for p in profiles)
+    if fmt == "flame":
+        return flame(profiles)
+    if fmt == "roofline":
+        return roofline(profiles)
+    return to_json(profiles)
+
+
+def _emit(text: str, output: str | None) -> None:
+    if output:
+        with open(output, "w", encoding="utf-8") as f:
+            f.write(text)
+            if not text.endswith("\n"):
+                f.write("\n")
+    else:
+        print(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.prof",
+        description="source-level kernel profiler")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser(
+        "run", help="profile a built-in benchmark kernel")
+    run_p.add_argument("target", choices=sorted(_TARGETS),
+                       help="benchmark kernel to profile")
+    run_p.add_argument("--device", default="Tesla",
+                       help="simulated device (default: Tesla)")
+    run_p.add_argument("--format", choices=_FORMATS, default="annotate",
+                       dest="fmt", help="output format (default: annotate)")
+    run_p.add_argument("-o", "--output", help="write to a file")
+
+    for name, help_ in (("annotate", "annotated source per kernel"),
+                        ("flame", "collapsed-stack flamegraph lines"),
+                        ("roofline", "roofline classification table")):
+        p = sub.add_parser(name, help=f"render a saved profile: {help_}")
+        p.add_argument("profile", help="profile JSON written by "
+                                       "'run --format json'")
+        p.add_argument("-o", "--output", help="write to a file")
+
+    ns = parser.parse_args(argv)
+
+    if ns.command == "run":
+        enable()
+        reset()
+        from ..hpl.runtime import reset_runtime
+        reset_runtime()
+        _TARGETS[ns.target](ns.device)
+        profiles = merge_profiles(get_profiler().drain())
+        if not profiles:
+            print("no kernel launches were profiled", file=sys.stderr)
+            return 1
+        _emit(_render(profiles, ns.fmt), ns.output)
+        return 0
+
+    try:
+        with open(ns.profile, encoding="utf-8") as f:
+            profiles = from_json(f.read())
+    except OSError as exc:
+        print(f"error: cannot read {ns.profile}: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError) as exc:
+        print(f"error: {ns.profile} is not a profile JSON: {exc}",
+              file=sys.stderr)
+        return 2
+    if not profiles:
+        print(f"error: {ns.profile} contains no profiles", file=sys.stderr)
+        return 2
+    _emit(_render(profiles, ns.command), ns.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

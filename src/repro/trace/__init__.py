@@ -35,7 +35,7 @@ from __future__ import annotations
 import functools
 
 from .core import NOOP_SPAN, NoopSpan, Span, Tracer
-from .export import (chrome_trace, read_spans, summarize,
+from .export import (chrome_trace, merge_spans, read_spans, summarize,
                      write_chrome_trace, write_jsonl)
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       get_registry)
@@ -45,8 +45,9 @@ __all__ = [
     "get_tracer", "set_tracer", "enable", "disable", "is_enabled",
     "span", "device_event", "current_span", "traced",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_registry",
+    "reset_metrics",
     "chrome_trace", "write_chrome_trace", "write_jsonl", "read_spans",
-    "summarize",
+    "merge_spans", "summarize",
 ]
 
 #: the process-global tracer; disabled until someone calls enable()
@@ -112,6 +113,18 @@ def current_span():
     if not tracer.enabled:
         return None
     return tracer.current()
+
+
+def reset_metrics() -> None:
+    """Zero every instrument in the global metrics registry.
+
+    Counters in the registry are process-global and survive
+    :func:`repro.hpl.runtime.reset_runtime` by design (the opt-pipeline
+    benchmark aggregates across runtime resets); tests that assert on
+    absolute counter values should call this in their setup instead of
+    relying on a fresh process.
+    """
+    get_registry().reset()
 
 
 def traced(name: str | None = None, category: str = "app", **attrs):

@@ -4,9 +4,12 @@ Subcommands::
 
     summarize <trace>            print the aggregated span table
     chrome <trace> <out.json>    convert a JSONL span log to Chrome JSON
+    merge <out> <trace>...       combine traces into one JSONL span log
 
-Both accept either a JSONL span log or a Chrome-trace JSON file (the
-format is sniffed).
+All accept either a JSONL span log or a Chrome-trace JSON file (the
+format is sniffed).  ``merge`` renumbers span ids so parent links from
+different files can't alias (cold/warm benchsuite subprocess runs each
+start their ids at 1).
 """
 
 from __future__ import annotations
@@ -14,7 +17,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .export import read_spans, summarize, write_chrome_trace
+from .export import merge_spans, read_spans, summarize, write_chrome_trace, \
+    write_jsonl
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,22 +36,36 @@ def main(argv: list[str] | None = None) -> int:
     p_chrome.add_argument("trace", help="JSONL span log")
     p_chrome.add_argument("output", help="Chrome JSON file to write")
 
+    p_merge = sub.add_parser(
+        "merge", help="combine several traces into one JSONL span log")
+    p_merge.add_argument("output", help="JSONL span log to write")
+    p_merge.add_argument("traces", nargs="+",
+                         help="input trace files, in timeline order")
+
     ns = parser.parse_args(argv)
-    try:
-        spans = read_spans(ns.trace)
-    except OSError as exc:
-        print(f"error: cannot read {ns.trace}: {exc}", file=sys.stderr)
-        return 2
-    except (ValueError, KeyError) as exc:
-        print(f"error: {ns.trace} is not a trace file "
-              f"(JSONL span log or Chrome JSON): {exc}", file=sys.stderr)
-        return 2
+    inputs = ns.traces if ns.command == "merge" else [ns.trace]
+    span_lists = []
+    for path in inputs:
+        try:
+            span_lists.append(read_spans(path))
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        except (ValueError, KeyError) as exc:
+            print(f"error: {path} is not a trace file "
+                  f"(JSONL span log or Chrome JSON): {exc}", file=sys.stderr)
+            return 2
 
     if ns.command == "summarize":
-        print(summarize(spans))
+        print(summarize(span_lists[0]))
+    elif ns.command == "chrome":
+        write_chrome_trace(ns.output, span_lists[0])
+        print(f"wrote {len(span_lists[0])} span(s) to {ns.output}")
     else:
-        write_chrome_trace(ns.output, spans)
-        print(f"wrote {len(spans)} span(s) to {ns.output}")
+        spans = merge_spans(span_lists)
+        write_jsonl(ns.output, spans)
+        print(f"merged {len(spans)} span(s) from {len(span_lists)} "
+              f"trace(s) into {ns.output}")
     return 0
 
 

@@ -145,6 +145,30 @@ def read_spans(path: str) -> list[Span]:
     return spans
 
 
+def merge_spans(span_lists: list[list[Span]]) -> list[Span]:
+    """Combine spans from several traces into one list with unique ids.
+
+    Cold/warm benchsuite subprocess runs each write their own trace with
+    span ids starting from 1; merging them verbatim would alias parents
+    across files.  This renumbers every span, rewriting ``parent_id``
+    within each input so nesting survives; a parent id that doesn't
+    resolve inside its own file (truncated trace) becomes ``None``.
+    """
+    merged: list[Span] = []
+    next_id = 1
+    for spans in span_lists:
+        idmap: dict[int, int] = {}
+        for span in spans:
+            idmap[span.span_id] = next_id
+            next_id += 1
+        for span in spans:
+            span.span_id = idmap[span.span_id]
+            if span.parent_id is not None:
+                span.parent_id = idmap.get(span.parent_id)
+            merged.append(span)
+    return merged
+
+
 # -- summary table -----------------------------------------------------------
 
 

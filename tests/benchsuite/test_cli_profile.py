@@ -1,0 +1,66 @@
+"""The benchsuite CLI: ``--profile`` / ``--profile-out`` pipeline.
+
+The acceptance path of the profiler issue: run EP under ``--profile``,
+check the hot-line table lands next to the benchmark output, and that
+``--profile-out`` writes the JSON + flamegraph pair CI uploads as a
+workflow artifact (re-renderable by ``python -m repro.prof``).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import prof
+from repro.benchsuite.runner import main as bench_main
+from repro.hpl import reset_runtime
+from repro.prof.__main__ import main as prof_cli
+
+
+@pytest.fixture()
+def clean_state():
+    """Reset runtime and restore a disabled fresh profiler."""
+    old = prof.get_profiler()
+    prof.set_profiler(prof.Profiler(enabled=False))
+    reset_runtime()
+    yield
+    prof.set_profiler(old)
+    reset_runtime()
+
+
+class TestBenchsuiteProfileFlag:
+    def test_ep_with_profile_prints_hot_lines(self, clean_state, capsys):
+        assert bench_main(["ep", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "-- kernel profile: ep (hottest source lines) --" in out
+        assert "kernel ep_hpl_kernel" in out
+        assert "bound=compute" in out
+        # hot lines are shown with their cost share and source text
+        assert "%  L" in out
+
+    def test_profile_out_writes_artifact_pair(self, clean_state,
+                                              tmp_path, capsys):
+        prefix = str(tmp_path / "BENCH_profile")
+        assert bench_main(["ep", "--profile-out", prefix]) == 0
+
+        doc = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        assert doc["version"] == 1
+        assert any(p["kernel"] == "ep_hpl_kernel"
+                   for p in doc["profiles"])
+
+        flame = (tmp_path / "BENCH_profile.flame").read_text()
+        assert "ep_hpl_kernel [vector]" in flame
+
+        # the saved JSON re-renders through the prof CLI
+        capsys.readouterr()
+        assert prof_cli(["roofline", prefix + ".json"]) == 0
+        assert "compute-bound" in capsys.readouterr().out
+
+    def test_profile_flag_does_not_leak(self, clean_state):
+        assert bench_main(["ep", "--profile"]) == 0
+        # --profile enables the global profiler for the run only; a
+        # later plain run must not silently keep collecting
+        assert not prof.is_enabled()
+        assert bench_main(["ep"]) == 0
+        assert len(prof.get_profiler()) == 0

@@ -1,0 +1,16 @@
+"""Fixtures for the profiler tests: an isolated, enabled profiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import prof
+
+
+@pytest.fixture()
+def profiler():
+    """A fresh enabled global profiler, restored afterwards."""
+    old = prof.get_profiler()
+    p = prof.set_profiler(prof.Profiler(enabled=True))
+    yield p
+    prof.set_profiler(old)

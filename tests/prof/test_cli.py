@@ -1,0 +1,110 @@
+"""``python -m repro.prof`` CLI: golden structure of each output format.
+
+These run the real benchmark kernels at the CLI's scaled-down sizes and
+pin the acceptance criteria of the profiler: the reduction annotate view
+attributes >=95% of modeled cost to source lines, the roofline
+classifies EP compute-bound and spmv memory-bound.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.prof.__main__ import main
+from repro.prof.report import from_json
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime, profiler):
+    """CLI runs enable the global profiler; keep it isolated per test."""
+
+
+def _run(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, out
+
+
+class TestRunAnnotate:
+    def test_reduction_attributes_95_percent(self, capsys):
+        rc, out = _run(capsys, "run", "reduction")
+        assert rc == 0
+        assert "kernel reduction_hpl_kernel" in out
+        match = re.search(r"attributed: +([\d.]+)% of modeled cost", out)
+        assert match, out
+        assert float(match.group(1)) >= 95.0
+
+    def test_annotate_layout(self, capsys):
+        rc, out = _run(capsys, "run", "reduction")
+        assert rc == 0
+        # gutter header, hot-line marker and the divergence footer
+        assert re.search(r"line +cost% +execs +ops +bytes +tx", out)
+        assert "*HOT*" in out
+        assert "divergent branches (worst first):" in out
+        assert "barrier(CLK_LOCAL_MEM_FENCE);" in out
+
+
+class TestRunRoofline:
+    def test_ep_is_compute_bound(self, capsys):
+        rc, out = _run(capsys, "run", "ep", "--format", "roofline")
+        assert rc == 0
+        assert re.search(r"ep_hpl_kernel .*compute-bound", out)
+
+    def test_spmv_is_memory_bound(self, capsys):
+        rc, out = _run(capsys, "run", "spmv", "--format", "roofline")
+        assert rc == 0
+        assert re.search(r"spmv_hpl_kernel .*memory-bound", out)
+
+
+class TestSavedProfiles:
+    def test_json_roundtrip_and_rerender(self, capsys, tmp_path):
+        path = tmp_path / "ep.json"
+        rc, _ = _run(capsys, "run", "ep", "--format", "json",
+                     "-o", str(path))
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        (profile,) = from_json(path.read_text())
+        assert profile.kernel == "ep_hpl_kernel"
+        assert profile.bound == "compute"
+
+        for command, needle in (
+                ("annotate", "kernel ep_hpl_kernel"),
+                ("flame", "ep_hpl_kernel [vector]"),
+                ("roofline", "compute-bound")):
+            rc, out = _run(capsys, command, str(path))
+            assert rc == 0
+            assert needle in out
+
+    def test_flame_lines_are_collapsed_stacks(self, capsys, tmp_path):
+        path = tmp_path / "red.flame"
+        rc, _ = _run(capsys, "run", "reduction", "--format", "flame",
+                     "-o", str(path))
+        assert rc == 0
+        for line in path.read_text().splitlines():
+            # semicolon-separated frames, integer sample count at the end
+            frames, _, count = line.rpartition(" ")
+            assert frames.count(";") >= 2
+            assert count.isdigit()
+
+    def test_missing_profile_is_an_error(self, capsys, tmp_path):
+        rc = main(["annotate", str(tmp_path / "nope.json")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_garbage_profile_is_an_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("this is not json")
+        rc = main(["annotate", str(bad)])
+        assert rc == 2
+        assert "not a profile JSON" in capsys.readouterr().err
+
+    def test_empty_profile_list_is_an_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("{\"version\": 1, \"profiles\": []}")
+        rc = main(["annotate", str(empty)])
+        assert rc == 2
+        assert "contains no profiles" in capsys.readouterr().err

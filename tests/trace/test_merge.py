@@ -1,0 +1,77 @@
+"""``merge_spans`` and the ``python -m repro.trace merge`` subcommand."""
+
+from __future__ import annotations
+
+from repro.trace import Span, merge_spans, read_spans, write_jsonl
+from repro.trace.__main__ import main
+
+
+def _span(name, span_id, parent_id=None, start_us=0.0, dur_us=5.0):
+    span = Span(name, "t", span_id=span_id, parent_id=parent_id,
+                thread_id=0, thread_name="main", start_us=start_us)
+    span.end_us = start_us + dur_us
+    return span
+
+
+def _spans(n, name_prefix, with_child=False):
+    spans = [_span(f"{name_prefix}{i}", i + 1, start_us=i * 10.0)
+             for i in range(n)]
+    if with_child:
+        spans.append(_span(f"{name_prefix}child", n + 1, parent_id=1,
+                           start_us=1.0, dur_us=1.0))
+    return spans
+
+
+class TestMergeSpans:
+    def test_ids_renumbered_without_aliasing(self):
+        # two files whose ids both start at 1 (cold/warm subprocesses)
+        merged = merge_spans([_spans(3, "a"), _spans(3, "b")])
+        ids = [s.span_id for s in merged]
+        assert sorted(ids) == list(range(1, 7))
+
+    def test_parent_links_stay_within_their_file(self):
+        merged = merge_spans([_spans(2, "a", with_child=True),
+                              _spans(2, "b", with_child=True)])
+        by_name = {s.name: s for s in merged}
+        for prefix in ("a", "b"):
+            child = by_name[f"{prefix}child"]
+            assert child.parent_id == by_name[f"{prefix}0"].span_id
+
+    def test_unresolvable_parent_becomes_root(self):
+        (merged,) = merge_spans([[_span("orphan", 5, parent_id=99)]])
+        assert merged.parent_id is None
+
+    def test_empty_inputs(self):
+        assert merge_spans([]) == []
+        assert merge_spans([[], []]) == []
+
+
+class TestMergeCli:
+    def test_merges_two_jsonl_traces(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(str(a), _spans(2, "a", with_child=True))
+        write_jsonl(str(b), _spans(3, "b"))
+        out = tmp_path / "merged.jsonl"
+        rc = main(["merge", str(out), str(a), str(b)])
+        assert rc == 0
+        assert "merged 6 span(s) from 2 trace(s)" in capsys.readouterr().out
+        merged = read_spans(str(out))
+        assert len(merged) == 6
+        assert len({s.span_id for s in merged}) == 6
+
+    def test_merged_trace_summarizes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_jsonl(str(a), _spans(2, "x"))
+        write_jsonl(str(b), _spans(2, "y"))
+        out = tmp_path / "m.jsonl"
+        assert main(["merge", str(out), str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main(["summarize", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "x0" in text and "y1" in text
+
+    def test_missing_input_is_an_error(self, tmp_path, capsys):
+        rc = main(["merge", str(tmp_path / "out.jsonl"),
+                   str(tmp_path / "missing.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
