@@ -55,6 +55,31 @@ def format_cluster(row: dict) -> str:
     return "\n".join(out)
 
 
+def format_cluster_lb(row: dict) -> str:
+    """Render the cluster load-balancing comparison (cluster-lb)."""
+    out = [f"Cluster load balancing: {row['n']}-element compute-bound "
+           f"kernel ({row['iters']} iters/item) on "
+           f"{len(row['devices'])} skewed device(s)", _rule(),
+           f"{'policy':<14}{'makespan':>12}{'speedup':>9}"
+           f"{'overlap':>9}{'launches':>10}  partition sizes", _rule()]
+    uniform = row["legs"]["uniform"]["makespan_seconds"]
+    for name, leg in row["legs"].items():
+        sizes = leg["partition_sizes"]
+        shown = ", ".join(str(s) for s in sizes[:4])
+        if len(sizes) > 4:
+            shown += f", ... ({len(sizes)} total)"
+        out.append(
+            f"{name:<14}{leg['makespan_seconds'] * 1e3:>10.3f}ms"
+            f"{uniform / leg['makespan_seconds']:>8.2f}x"
+            f"{leg['overlap_factor']:>8.2f}x"
+            f"{leg['launches']:>10}  [{shown}]")
+    out += [_rule(),
+            f"{'all policies bit-identical':<44}"
+            f"{str(row['results_identical']):>14}",
+            _rule()]
+    return "\n".join(out)
+
+
 def format_table1(rows: list[dict]) -> str:
     """Render Table I (SLOC comparison)."""
     out = ["Table I: SLOCs for the OpenCL and HPL versions of the "

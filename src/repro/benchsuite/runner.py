@@ -638,6 +638,106 @@ def run_cluster(n: int = 1 << 14, reps: int = 4) -> dict:
     }
 
 
+def run_cluster_lb(n: int = 1 << 14, iters: int = 64,
+                   output: str | None = "BENCH_cluster_lb.json") -> dict:
+    """Heterogeneity-aware load balancing across a skewed cluster.
+
+    Runs one compute-bound partitioned kernel on the paper's default
+    three-device mix (Tesla C2050 + Quadro FX 380 + Xeon host — spec
+    throughputs spanning ~45x) under four scheduling policies:
+
+    * ``uniform`` — near-even blocks; the makespan is pinned to the
+      slowest device,
+    * ``weighted`` — blocks sized from the device *specs*
+      (no measured history),
+    * ``weighted+cal`` — blocks sized from the throughputs measured in
+      the earlier legs (the calibration feedback loop),
+    * ``dynamic`` — on-demand HGuided chunks handed to whichever device
+      drains first.
+
+    All legs must produce bit-identical gathered results; the makespans
+    come from the simulated per-device timelines.  The row (written as
+    ``BENCH_cluster_lb.json``) carries the weighted/dynamic speedups
+    over uniform, which CI gates at >= 1.3x.
+    """
+    import json
+
+    import numpy as np
+
+    from ..hpl import (Cluster, DistributedArray, Float, Int,
+                       WeightedScheduler, calibration, cluster_eval,
+                       endfor_, float_, for_, get_devices, idx,
+                       timeline_of)
+    from ..hpl import sqrt as hpl_sqrt
+
+    def lb_heavy(y, x, a, offset, count):
+        acc = Float(0.0)
+        j = Int()
+        for_(j, 0, iters)
+        acc.assign(acc + hpl_sqrt(x[idx] * x[idx] + a * acc + 1.0))
+        endfor_()
+        y[idx] = acc
+
+    rng = np.random.default_rng(42)
+    xs = rng.random(n).astype(np.float32)
+
+    def one_leg(schedule):
+        reset_runtime()
+        # all three devices of the paper's machine, CPU included:
+        # the whole point is surviving a heterogeneous mix
+        cluster = Cluster(get_devices())
+        dx = DistributedArray(float_, n, cluster, data=xs)
+        dy = DistributedArray(float_, n, cluster)
+        results = cluster_eval(lb_heavy, cluster, dy, dx, Float(0.5),
+                               schedule=schedule)
+        out = dy.gather()
+        timeline = timeline_of(results)
+        return cluster, {
+            "makespan_seconds": timeline.makespan_seconds,
+            "serialized_seconds": timeline.serialized_seconds,
+            "busy_seconds": dict(timeline.busy_seconds),
+            "overlap_factor": timeline.overlap_factor,
+            "launches": len(results),
+            "partition_sizes": [hi - lo for lo, hi in dy.bounds],
+            "checksum": float(out.sum()),
+        }, out
+
+    calibration().reset()
+    cluster, uniform, base_out = one_leg("uniform")
+    # spec-derived weights: what a model-only scheduler can do
+    _c, weighted, weighted_out = one_leg(
+        WeightedScheduler(calibrate=False))
+    _c, dynamic, dynamic_out = one_leg("dynamic")
+    # by now every device has measured history for this kernel;
+    # the default weighted scheduler switches to it automatically
+    _c, calibrated, calibrated_out = one_leg("weighted")
+
+    legs = {"uniform": uniform, "weighted": weighted,
+            "dynamic": dynamic, "weighted+cal": calibrated}
+    row = {
+        "n": n,
+        "iters": iters,
+        "devices": [d.label for d in cluster.devices],
+        "legs": legs,
+        "speedup_weighted": uniform["makespan_seconds"]
+        / weighted["makespan_seconds"],
+        "speedup_dynamic": uniform["makespan_seconds"]
+        / dynamic["makespan_seconds"],
+        "speedup_weighted_calibrated": uniform["makespan_seconds"]
+        / calibrated["makespan_seconds"],
+        "results_identical": bool(
+            np.array_equal(base_out, weighted_out)
+            and np.array_equal(base_out, dynamic_out)
+            and np.array_equal(base_out, calibrated_out)),
+        "checksum": uniform["checksum"],
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
+
+
 # -- command-line entry point -------------------------------------------------
 #
 # ``python -m repro.benchsuite [target ...] [--trace out.json] [--verbose]``
@@ -654,6 +754,7 @@ def _cli_targets() -> dict:
     return {
         "ep": (run_ep, None),
         "cluster": (run_cluster, report.format_cluster),
+        "cluster-lb": (run_cluster_lb, report.format_cluster_lb),
         "table1": (run_table1, report.format_table1),
         "fig6": (run_fig6, report.format_fig6),
         "fig7": (run_fig7, report.format_fig7),

@@ -24,7 +24,10 @@ from .analysis import KernelInfo, analyze_kernel
 from .array import Array
 from .builder import KernelBuilder
 from .cluster import (Cluster, ClusterTimeline, DistributedArray,
-                      cluster_eval, timeline_of)
+                      DynamicScheduler, Partition, Scheduler, SCHEDULERS,
+                      UniformScheduler, WeightedScheduler, calibration,
+                      cluster_eval, device_throughput, get_scheduler,
+                      timeline_of)
 from .codegen import generate_source
 from .control import (break_, continue_, elif_, else_, endfor_, endif_,
                       endwhile_, for_, if_, return_, while_)
@@ -75,6 +78,10 @@ __all__ = [
     # multi-device cluster extension
     "Cluster", "ClusterTimeline", "DistributedArray", "cluster_eval",
     "timeline_of",
+    # cluster scheduling policies
+    "Scheduler", "UniformScheduler", "WeightedScheduler",
+    "DynamicScheduler", "Partition", "SCHEDULERS", "get_scheduler",
+    "calibration", "device_throughput",
     # capture internals useful for tooling/tests
     "KernelBuilder", "KernelInfo", "analyze_kernel", "generate_source",
 ]

@@ -212,6 +212,23 @@ class Array:
     def _sync_host(self):
         """Bring the host copy up to date; returns the d2h event if one
         was needed (already complete), else None."""
+        event = self.enqueue_host_sync()
+        if event is not None:
+            event.wait()     # host code touches the data right after
+        return event
+
+    def enqueue_host_sync(self):
+        """Enqueue (without waiting) the d2h copy refreshing the host.
+
+        Returns the transfer event, or ``None`` when the host copy is
+        already valid.  The host copy becomes valid when the event
+        *completes* (a completion callback flips the state), so callers
+        must ``wait()`` the event — or drive the queue — before touching
+        the data.  Enqueueing the copies of several arrays on different
+        devices before waiting any of them lets the transfers overlap on
+        the simulated timeline instead of serializing with the host loop
+        (see :meth:`DistributedArray.gather`).
+        """
         if self._host_valid:
             return None
         live = self._live_devices()
@@ -226,9 +243,12 @@ class Array:
             event = dev.read_buffer(
                 self._buffers[dev], self._host,
                 wait_for=[producer] if producer is not None else None)
-            event.wait()     # host code touches the data right after
-            self._host_valid = True
-            self.host_event = event
+
+            def _done(ev, self=self):
+                self._host_valid = True
+                self.host_event = ev
+
+            event.add_callback(_done)
             return event
         if stale:
             raise CoherenceError(

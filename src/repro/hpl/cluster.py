@@ -13,7 +13,15 @@ top of the simulated platform:
   cluster along its first dimension;
 * :func:`cluster_eval` runs an elementwise-style kernel on every
   partition concurrently (owner-computes), giving each device its slice
-  of every distributed argument plus the partition offset.
+  of every distributed argument plus the partition offset;
+* a pluggable :class:`Scheduler` decides *how much* of the index space
+  each device computes.  On a heterogeneous mix a uniform block split
+  pins the makespan to the slowest device; the
+  :class:`WeightedScheduler` sizes blocks from per-device throughput
+  (device specs, refined by measured history — a self-calibrating
+  feedback loop), and the :class:`DynamicScheduler` cuts the index
+  space into guided chunks handed to devices as their event graphs
+  drain, EngineCL-HGuided style.  See ``docs/cluster.md``.
 
 Communication is staged through host memory (the "interconnect"), with
 per-transfer costs accounted by each device's PCIe model — exactly how a
@@ -22,16 +30,38 @@ one-host multi-GPU OpenCL program moves data.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import trace
 from ..errors import DomainError, HPLError
 from .array import Array
 from .dtypes import HPLType
 from .evaluator import eval as hpl_eval
 from .runtime import HPLDevice, get_runtime
 from .scalars import Int
+
+
+def _block_bounds(n: int, k: int) -> list[tuple[int, int]]:
+    """Contiguous near-even split of ``n`` elements into ``k`` blocks.
+
+    With ``n < k`` the first ``n`` blocks get one element each and the
+    rest are empty — callers skip empty partitions instead of failing.
+    """
+    if n < 0:
+        raise DomainError(f"cannot partition {n} element(s)")
+    if n < k:
+        return [(min(i, n), min(i + 1, n)) for i in range(k)]
+    base, extra = divmod(n, k)
+    bounds = []
+    start = 0
+    for rank in range(k):
+        size = base + (1 if rank < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
 
 
 class Cluster:
@@ -57,52 +87,408 @@ class Cluster:
         return f"<Cluster of {len(self.devices)} device(s)>"
 
     def partition_bounds(self, n: int) -> list[tuple[int, int]]:
-        """Contiguous block partition of ``n`` elements over the devices."""
-        if n < len(self.devices):
-            raise DomainError(
-                f"cannot partition {n} element(s) over "
-                f"{len(self.devices)} devices")
-        base, extra = divmod(n, len(self.devices))
-        bounds = []
+        """Contiguous block partition of ``n`` elements over the devices.
+
+        When ``n`` is smaller than the cluster, the first ``n`` devices
+        get one element each and the remaining partitions are empty
+        (``lo == hi``); :func:`cluster_eval` skips empty partitions.
+        """
+        return _block_bounds(n, len(self.devices))
+
+
+# -- scheduling -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One contiguous block of the index space, owned by one device.
+
+    ``rank`` is the owning device's position in the cluster; dynamic
+    schedules cut chunks before knowing their owner, so their plans
+    carry ``rank=None`` until :func:`cluster_eval` assigns them.
+    """
+
+    lo: int
+    hi: int
+    rank: int | None = None
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+
+def device_throughput(spec) -> float:
+    """Spec-derived relative throughput estimate of one device.
+
+    A pure compute proxy (``compute_units x clock x ipc``): exact for
+    compute-bound kernels, pessimistic about memory-bound ones — which
+    is why the weighted scheduler prefers *measured* per-kernel
+    throughput once :class:`CalibrationStore` has seen the kernel run.
+    """
+    return spec.compute_units * spec.clock_ghz * spec.ipc
+
+
+class CalibrationStore:
+    """Measured per-(kernel, device-model) throughput history.
+
+    Every :func:`cluster_eval` records, for each launch it made, the
+    observed ``items / simulated second`` of that kernel on that device
+    model (an exponential moving average, so the estimate tracks the
+    current problem regime).  The :class:`WeightedScheduler` consults
+    this store before falling back to spec-derived estimates — closing
+    the profiler -> cost-model -> scheduler feedback loop.
+    """
+
+    #: EMA smoothing: weight of the newest observation
+    ALPHA = 0.5
+
+    def __init__(self) -> None:
+        self._tput: dict = {}       # (kernel_name, device_name) -> it/s
+        self._samples: dict = {}    # same key -> observation count
+
+    def record(self, kernel_name: str, device_name: str,
+               items: int, seconds: float) -> None:
+        if items <= 0 or seconds <= 0.0:
+            return
+        key = (kernel_name, device_name)
+        observed = items / seconds
+        prev = self._tput.get(key)
+        self._tput[key] = observed if prev is None \
+            else self.ALPHA * observed + (1.0 - self.ALPHA) * prev
+        self._samples[key] = self._samples.get(key, 0) + 1
+
+    def throughput(self, kernel_name: str, device_name: str):
+        """Measured items/second, or ``None`` if never observed."""
+        return self._tput.get((kernel_name, device_name))
+
+    def samples(self, kernel_name: str, device_name: str) -> int:
+        return self._samples.get((kernel_name, device_name), 0)
+
+    def reset(self) -> None:
+        self._tput.clear()
+        self._samples.clear()
+
+
+#: process-wide store; survives ``reset_runtime()`` on purpose — device
+#: *models* keep their measured speed across runtime resets
+_CALIBRATION = CalibrationStore()
+
+
+def calibration() -> CalibrationStore:
+    """The process-wide scheduler calibration store."""
+    return _CALIBRATION
+
+
+def _resolve_weights(weights, calibrate: bool, cluster: Cluster,
+                     kernel_name: str | None) -> tuple[list[float], str]:
+    """Per-device throughput weights and their source
+    (``explicit`` | ``calibrated`` | ``spec``).
+
+    Explicit weights win; else measured per-kernel throughputs from the
+    :class:`CalibrationStore` (only when *all* device models of the
+    cluster have history for this kernel, so measured and estimated
+    numbers never mix); else :func:`device_throughput` of the specs.
+    """
+    if weights is not None:
+        if len(weights) != len(cluster.devices):
+            raise HPLError(
+                f"{len(weights)} weight(s) for a "
+                f"{len(cluster.devices)}-device cluster")
+        return list(weights), "explicit"
+    if calibrate and kernel_name is not None:
+        measured = [_CALIBRATION.throughput(kernel_name, d.name)
+                    for d in cluster.devices]
+        if all(t is not None for t in measured):
+            return list(measured), "calibrated"
+    return [device_throughput(d.ocl.spec)
+            for d in cluster.devices], "spec"
+
+
+class Scheduler:
+    """Partitioning policy interface used by ``cluster_eval(schedule=)``.
+
+    Static schedulers implement :meth:`plan`, returning one
+    :class:`Partition` per device (possibly empty).  Dynamic schedulers
+    (``dynamic = True``) implement :meth:`next_chunk` instead:
+    :func:`cluster_eval` asks for one chunk at a time, on behalf of the
+    device whose event graph drains first.
+    """
+
+    name = "?"
+    dynamic = False
+
+    def plan(self, n: int, cluster: Cluster,
+             kernel_name: str | None = None) -> list[Partition]:
+        raise NotImplementedError
+
+    def next_chunk(self, remaining: int, n_devices: int,
+                   weight_share: float, min_chunk: int = 1) -> int:
+        """Size of the next chunk handed to a requesting device.
+
+        ``weight_share`` is the requesting device's fraction of the
+        cluster's total throughput weight.  Only dynamic schedulers
+        implement this.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class UniformScheduler(Scheduler):
+    """Near-even block partition — one block per device, sizes within
+    one element of each other.  The right choice for homogeneous
+    clusters; on skewed mixes the makespan is pinned to the slowest
+    device."""
+
+    name = "uniform"
+
+    def plan(self, n, cluster, kernel_name=None):
+        return [Partition(lo, hi, rank)
+                for rank, (lo, hi)
+                in enumerate(_block_bounds(n, len(cluster.devices)))]
+
+
+class WeightedScheduler(Scheduler):
+    """Static weighted partition: each device's block is proportional to
+    its throughput.
+
+    Weights come from, in order of preference: the explicit ``weights``
+    argument; the :class:`CalibrationStore` (measured items/second of
+    this kernel on every device model of the cluster — used only when
+    *all* devices have history, so measured and estimated numbers never
+    mix); else :func:`device_throughput` of each device's spec.
+    """
+
+    name = "weighted"
+
+    def __init__(self, weights=None, calibrate: bool = True) -> None:
+        if weights is not None:
+            weights = [float(w) for w in weights]
+            if any(w < 0 for w in weights):
+                raise HPLError("scheduler weights must be >= 0")
+            if sum(weights) <= 0:
+                raise HPLError("scheduler weights must sum to > 0")
+        self.weights = weights
+        self.calibrate = calibrate
+
+    def weights_for(self, cluster: Cluster,
+                    kernel_name: str | None = None
+                    ) -> tuple[list[float], str]:
+        """The per-device weights and their source
+        (``explicit`` | ``calibrated`` | ``spec``)."""
+        return _resolve_weights(self.weights, self.calibrate, cluster,
+                                kernel_name)
+
+    def plan(self, n, cluster, kernel_name=None):
+        weights, _source = self.weights_for(cluster, kernel_name)
+        total = sum(weights)
+        quotas = [n * w / total for w in weights]
+        sizes = [int(q) for q in quotas]
+        shortfall = n - sum(sizes)
+        # largest-remainder rounding, fastest devices first on ties
+        order = sorted(range(len(sizes)),
+                       key=lambda i: (quotas[i] - sizes[i], weights[i]),
+                       reverse=True)
+        for i in order[:shortfall]:
+            sizes[i] += 1
+        partitions = []
         start = 0
-        for rank in range(len(self.devices)):
-            size = base + (1 if rank < extra else 0)
-            bounds.append((start, start + size))
+        for rank, size in enumerate(sizes):
+            partitions.append(Partition(start, start + size, rank))
             start += size
-        return bounds
+        return partitions
+
+
+class DynamicScheduler(Scheduler):
+    """Dynamic chunk scheduler (EngineCL's "HGuided" policy).
+
+    The index space is cut into contiguous chunks *on demand*: whenever
+    a device's event graph drains, it is handed the next chunk, sized
+    ``remaining x weight_share / factor`` — the device's throughput
+    share of the remaining work, damped by ``factor`` so the tail
+    shrinks geometrically and keeps the finish times tight.  Fast
+    devices therefore pull big chunks early and often; slow devices
+    nibble ``min_chunk``-sized pieces they are guaranteed to finish
+    quickly.  Unlike the static :class:`WeightedScheduler` this needs no
+    accurate model up front — mis-estimates only cost a chunk, not the
+    whole partition — at the price of one launch (and its transfers)
+    per chunk.
+
+    ``chunk_size`` switches to fixed-size self-scheduling (every chunk
+    the same size regardless of device); ``min_chunk`` floors the
+    guided sizes (default ``n / (16 x devices)``).
+    """
+
+    name = "dynamic"
+    dynamic = True
+
+    def __init__(self, chunk_size: int | None = None, factor: int = 2,
+                 min_chunk: int | None = None, weights=None,
+                 calibrate: bool = True) -> None:
+        if chunk_size is not None and chunk_size < 1:
+            raise HPLError(f"chunk_size must be >= 1, got {chunk_size}")
+        if factor < 1:
+            raise HPLError(f"factor must be >= 1, got {factor}")
+        if min_chunk is not None and min_chunk < 1:
+            raise HPLError(f"min_chunk must be >= 1, got {min_chunk}")
+        self.chunk_size = chunk_size
+        self.factor = factor
+        self.min_chunk = min_chunk
+        self.weights = weights
+        self.calibrate = calibrate
+
+    def weights_for(self, cluster: Cluster,
+                    kernel_name: str | None = None
+                    ) -> tuple[list[float], str]:
+        return _resolve_weights(self.weights, self.calibrate, cluster,
+                                kernel_name)
+
+    def min_chunk_for(self, n: int, n_devices: int) -> int:
+        if self.min_chunk is not None:
+            return self.min_chunk
+        return max(1, n // (16 * n_devices))
+
+    def next_chunk(self, remaining, n_devices, weight_share,
+                   min_chunk=1):
+        if self.chunk_size is not None:
+            return min(int(self.chunk_size), remaining)
+        size = int(remaining * weight_share / self.factor)
+        size = max(size, min_chunk)
+        return min(size, remaining)
+
+    def plan(self, n, cluster, kernel_name=None):
+        raise HPLError(
+            "DynamicScheduler cuts chunks on demand during cluster_eval; "
+            "it has no static plan")
+
+
+#: schedule-name -> scheduler class, for ``cluster_eval(schedule="...")``
+SCHEDULERS = {
+    "uniform": UniformScheduler,
+    "weighted": WeightedScheduler,
+    "dynamic": DynamicScheduler,
+}
+
+
+def get_scheduler(spec) -> Scheduler | None:
+    """Resolve a ``schedule=`` argument: None, a policy name, or a
+    :class:`Scheduler` instance."""
+    if spec is None or isinstance(spec, Scheduler):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return SCHEDULERS[spec]()
+        except KeyError:
+            raise HPLError(
+                f"unknown schedule {spec!r}; available: "
+                + ", ".join(sorted(SCHEDULERS))) from None
+    raise HPLError(f"schedule must be None, a name or a Scheduler, "
+                   f"got {spec!r}")
+
+
+# -- distributed data -----------------------------------------------------------
 
 
 class DistributedArray:
     """A 1-D array block-partitioned across a :class:`Cluster`.
 
-    Each partition is an ordinary HPL :class:`Array` owned by one
-    device; :meth:`gather` assembles the full contents on the host.
+    The full contents live in one host buffer; each partition is an
+    ordinary HPL :class:`Array` *viewing* its slice (so repartitioning
+    never copies host memory), owned by one device.  :meth:`gather`
+    assembles the full contents on the host, overlapping the per-device
+    d2h transfers on the simulated timeline.  Empty partitions are
+    represented as ``None`` and skipped everywhere.
     """
 
     def __init__(self, dtype: HPLType, n: int, cluster: Cluster,
-                 data: np.ndarray | None = None) -> None:
+                 data: np.ndarray | None = None,
+                 bounds=None) -> None:
         self.dtype = dtype
         self.n = int(n)
+        if self.n < 1:
+            raise HPLError("a DistributedArray needs at least 1 element")
         self.cluster = cluster
-        self.bounds = cluster.partition_bounds(self.n)
-        self.parts: list[Array] = []
-        for (lo, hi) in self.bounds:
-            part = Array(dtype, hi - lo)
-            if data is not None:
-                part.data[:] = np.asarray(data[lo:hi],
-                                          dtype=dtype.np_dtype)
-            self.parts.append(part)
+        self._full = np.zeros(self.n, dtype=dtype.np_dtype)
+        if data is not None:
+            data = np.asarray(data, dtype=dtype.np_dtype)
+            if data.size != self.n:
+                raise HPLError(
+                    f"provided {data.size} element(s) for a "
+                    f"{self.n}-element DistributedArray")
+            self._full[:] = data.reshape(self.n)
+        bounds = cluster.partition_bounds(self.n) if bounds is None \
+            else [(int(lo), int(hi)) for lo, hi in bounds]
+        self._check_bounds(bounds)
+        self.bounds = bounds
+        self.parts = self._make_parts(bounds)
+        #: d2h events of the most recent :meth:`gather`, for timelines
+        self.last_gather_events: list = []
+
+    def _check_bounds(self, bounds) -> None:
+        if not bounds or bounds[0][0] != 0 or bounds[-1][1] != self.n:
+            raise HPLError(f"partition bounds {bounds} do not cover "
+                           f"[0, {self.n})")
+        for (alo, ahi), (blo, bhi) in zip(bounds, bounds[1:]):
+            if ahi != blo or alo > ahi or blo > bhi:
+                raise HPLError(
+                    f"partition bounds {bounds} are not a contiguous "
+                    "non-overlapping cover")
+
+    def _make_parts(self, bounds) -> list:
+        return [Array(self.dtype, hi - lo, data=self._full[lo:hi])
+                if hi > lo else None
+                for lo, hi in bounds]
 
     @property
     def size(self) -> int:
         return self.n
 
+    def repartition(self, bounds) -> "DistributedArray":
+        """Re-slice the array along new partition bounds.
+
+        Device-resident partitions are first synchronised back to the
+        host (their d2h copies overlap across devices); the new parts
+        start host-valid, so the next launch pays the h2d copies of the
+        new layout — the real cost of re-balancing data.
+        """
+        bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        if bounds == self.bounds:
+            return self
+        self._check_bounds(bounds)
+        self._sync_parts()
+        self.bounds = bounds
+        self.parts = self._make_parts(bounds)
+        return self
+
+    def _sync_parts(self) -> list:
+        """Refresh the host copy of every partition.
+
+        All stale partitions' d2h copies are *enqueued* before any is
+        waited on, so transfers from different devices overlap on the
+        simulated timeline instead of serializing with the host loop.
+        Returns the transfer events (one per partition that needed one).
+        """
+        events = []
+        for part in self.parts:
+            if part is None:
+                continue
+            event = part.enqueue_host_sync()
+            if event is not None:
+                events.append(event)
+        for event in events:
+            event.wait()
+        return events
+
     def gather(self) -> np.ndarray:
-        """Assemble the full array on the host (device->host transfers)."""
-        out = np.empty(self.n, dtype=self.dtype.np_dtype)
-        for (lo, hi), part in zip(self.bounds, self.parts):
-            out[lo:hi] = part.read()
-        return out
+        """Assemble the full array on the host (device->host transfers).
+
+        The per-device transfers overlap on the simulated timeline;
+        their events are kept in :attr:`last_gather_events` so
+        :func:`timeline_of` can measure the overlap.
+        """
+        self.last_gather_events = self._sync_parts()
+        return self._full.copy()
 
     def scatter(self, data: np.ndarray) -> None:
         """Replace the contents from a host array."""
@@ -112,20 +498,25 @@ class DistributedArray:
                 f"scatter of {data.size} element(s) into a "
                 f"{self.n}-element DistributedArray")
         for (lo, hi), part in zip(self.bounds, self.parts):
-            part.data[:] = data[lo:hi]
+            if part is not None:
+                part.data[:] = data[lo:hi]
 
     def __repr__(self) -> str:
         return (f"<DistributedArray {self.dtype}[{self.n}] over "
-                f"{len(self.cluster)} device(s)>")
+                f"{len(self.cluster)} device(s), "
+                f"{sum(p is not None for p in self.parts)} partition(s)>")
 
 
-def _local_args(args, dist_args, rank: int) -> list:
-    """Per-rank argument list: partitions swapped in, offset/count added."""
-    lo, hi = dist_args[0].bounds[rank]
+# -- evaluation -----------------------------------------------------------------
+
+
+def _local_args(args, dist_args, part: int) -> list:
+    """Per-partition argument list: slices swapped in, offset/count added."""
+    lo, hi = dist_args[0].bounds[part]
     local = []
     for a in args:
         if isinstance(a, DistributedArray):
-            local.append(a.parts[rank])
+            local.append(a.parts[part])
         else:
             local.append(a)
     local.append(Int(lo))
@@ -138,7 +529,11 @@ def _check_broadcast_writes(kernel, args, local_args) -> None:
 
     Each rank writing its own copy would invalidate the other ranks'
     copies mid-loop, making the final contents depend on rank order —
-    an error, not a race the user should debug.
+    an error, not a race the user should debug.  Called once per
+    partition with that partition's *actual* local arguments, so the
+    capture inspected is the capture that will run (capture keys depend
+    on argument signatures and closure values, which this must not
+    assume are partition-invariant).
     """
     captured = get_runtime().get_captured(kernel, local_args)
     for (name, _proxy), arg in zip(captured.params, args):
@@ -151,7 +546,130 @@ def _check_broadcast_writes(kernel, args, local_args) -> None:
                 "(or make the kernel read-only on it) instead")
 
 
-def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
+def _launch(kernel, device: HPLDevice, args, dist_args, part: int):
+    lo, hi = dist_args[0].bounds[part]
+    return hpl_eval(kernel).global_(hi - lo).device(device)(
+        *_local_args(args, dist_args, part))
+
+
+def _record_calibration(kernel_name: str, launches) -> None:
+    """Feed observed throughputs back into the calibration store."""
+    for device, partition, result in launches:
+        try:
+            seconds = result.kernel_event.duration
+        except Exception:       # profiling disabled on a custom queue
+            continue
+        _CALIBRATION.record(kernel_name, device.name,
+                            partition.size, seconds)
+
+
+def _run_static(kernel, cluster, args, dist_args, partitions,
+                kernel_name: str) -> list:
+    """One launch per non-empty partition on its assigned device."""
+    launches = []
+    for part_index, partition in enumerate(partitions):
+        if partition.size <= 0:
+            continue
+        device = cluster.devices[partition.rank]
+        _check_broadcast_writes(kernel, args,
+                                _local_args(args, dist_args, part_index))
+        with trace.span("cluster_partition", category="cluster",
+                        kernel=kernel_name, device=device.label,
+                        rank=partition.rank, lo=partition.lo,
+                        hi=partition.hi):
+            result = _launch(kernel, device, args, dist_args, part_index)
+        launches.append((device, partition, result))
+    for _device, _partition, result in launches:
+        result.wait()
+    return launches
+
+
+def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
+                 kernel_name: str) -> list:
+    """On-demand chunk dispatch: each chunk goes to the device whose
+    event graph drains first on the simulated timeline.
+
+    Chunks are cut lazily — the scheduler sizes each one for the device
+    that requests it (its throughput share of the remaining work), so a
+    slow device never grabs a large early chunk.  A completion callback
+    on every chunk's kernel event returns its device to the ready-heap
+    stamped with the chunk's simulated end time, so assignment order is
+    decided by the devices' simulated clocks — the behaviour of a real
+    work-stealing host thread — not by host-loop enqueue order.
+
+    The DistributedArray arguments end up partitioned along the chunk
+    bounds (their host copies refreshed first, so the chunk views read
+    current data); ``gather`` works on the chunk layout as usual.
+    """
+    devices = cluster.devices
+    n = dist_args[0].n
+    registry = trace.get_registry()
+    weights, source = scheduler.weights_for(cluster, kernel_name)
+    total_w = sum(weights)
+    if total_w <= 0:
+        raise HPLError("scheduler weights must sum to > 0")
+    min_chunk = scheduler.min_chunk_for(n, len(devices))
+    for a in dist_args:
+        a._sync_parts()
+    bounds: list[tuple[int, int]] = []
+    new_parts: dict = {id(a): [] for a in dist_args}
+    ready = [(int(d.queue.clock * 1e9), rank)
+             for rank, d in enumerate(devices)]
+    heapq.heapify(ready)
+    launches = []
+    lo = 0
+    while lo < n:
+        _avail_ns, rank = heapq.heappop(ready)
+        device = devices[rank]
+        size = scheduler.next_chunk(n - lo, len(devices),
+                                    weights[rank] / total_w, min_chunk)
+        hi = lo + size
+        bounds.append((lo, hi))
+        local = []
+        for a in args:
+            if isinstance(a, DistributedArray):
+                part = Array(a.dtype, size, data=a._full[lo:hi])
+                new_parts[id(a)].append(part)
+                local.append(part)
+            else:
+                local.append(a)
+        local.append(Int(lo))
+        local.append(Int(size))
+        partition = Partition(lo, hi, rank)
+        _check_broadcast_writes(kernel, args, local)
+        with trace.span("cluster_chunk", category="cluster",
+                        kernel=kernel_name, device=device.label,
+                        rank=rank, chunk=len(bounds) - 1, lo=lo, hi=hi,
+                        weights=source):
+            result = hpl_eval(kernel).global_(size).device(device)(*local)
+
+        def _drained(event, rank=rank, device=device,
+                     partition=partition):
+            heapq.heappush(ready, (event.end_ns, rank))
+            registry.counter("cluster.chunks_dispatched").inc()
+            registry.counter("cluster.chunk_items").inc(partition.size)
+            registry.counter(
+                f"cluster.chunks[{device.label}]").inc()
+            registry.counter(
+                f"cluster.chunk_items[{device.label}]").inc(
+                partition.size)
+            registry.histogram("cluster.chunk_seconds").observe(
+                event.duration)
+
+        result.kernel_event.add_callback(_drained)
+        # drive this chunk's event graph now so the device's drain time
+        # is known before the next chunk is assigned
+        result.wait()
+        launches.append((device, partition, result))
+        lo = hi
+    for a in dist_args:
+        a.bounds = bounds
+        a.parts = new_parts[id(a)]
+    return launches
+
+
+def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
+                 schedule=None):
     """Evaluate ``kernel`` once per partition, owner-computes style.
 
     ``kernel`` is an ordinary HPL kernel function whose **last two
@@ -163,6 +681,14 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
     Arrays must be read-only in the kernel (an :class:`HPLError` is
     raised otherwise).
 
+    ``schedule`` selects the partitioning policy: ``None`` keeps the
+    arrays' current partitioning (block-uniform unless repartitioned),
+    while ``"uniform"``, ``"weighted"``, ``"dynamic"`` or a
+    :class:`Scheduler` instance re-plan the index space — repartitioning
+    every DistributedArray argument to the plan's bounds — before
+    launching.  All policies compute bit-identical results; they differ
+    only in who computes what (see ``docs/cluster.md``).
+
     With ``deferred=True`` (the default) every device's queue records
     its partition's transfers and launch as an event graph, all
     partitions are launched asynchronously, and a single barrier at the
@@ -172,7 +698,7 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
     identical either way.
 
     Returns the list of per-partition :class:`EvalResult` objects (all
-    complete by return).
+    complete by return), in dispatch order.
     """
     dist_args = [a for a in args if isinstance(a, DistributedArray)]
     if not dist_args:
@@ -182,8 +708,28 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
         if a.n != n or a.cluster is not cluster:
             raise HPLError("all DistributedArrays must share the same "
                            "size and cluster")
-    _check_broadcast_writes(kernel, args,
-                            _local_args(args, dist_args, 0))
+    kernel_name = getattr(kernel, "__name__", repr(kernel))
+
+    scheduler = get_scheduler(schedule)
+    dynamic = scheduler is not None and scheduler.dynamic
+    if scheduler is not None and not dynamic:
+        with trace.span("cluster_schedule", category="cluster",
+                        policy=scheduler.name, kernel=kernel_name, n=n,
+                        devices=len(cluster)):
+            partitions = scheduler.plan(n, cluster,
+                                        kernel_name=kernel_name)
+            bounds = [(p.lo, p.hi) for p in partitions]
+            for a in dist_args:
+                a.repartition(bounds)
+    elif not dynamic:
+        for a in dist_args:
+            if a.bounds != dist_args[0].bounds:
+                raise HPLError(
+                    "all DistributedArrays must share the same "
+                    "partitioning; pass schedule=... to re-plan them "
+                    "together")
+        partitions = [Partition(lo, hi, rank) for rank, (lo, hi)
+                      in enumerate(dist_args[0].bounds)]
 
     devices = cluster.devices
     previous = [d.deferred for d in devices]
@@ -191,19 +737,23 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True):
         for d in devices:
             d.set_deferred(True)
     try:
-        results = []
-        for rank, device in enumerate(devices):
-            lo, hi = dist_args[0].bounds[rank]
-            result = hpl_eval(kernel).global_(hi - lo).device(device) \
-                (*_local_args(args, dist_args, rank))
-            results.append(result)
-        # single barrier: drive every device's event graph to completion
-        for result in results:
-            result.wait()
+        if dynamic:
+            with trace.span("cluster_schedule", category="cluster",
+                            policy=scheduler.name, kernel=kernel_name,
+                            n=n, devices=len(cluster)):
+                launches = _run_dynamic(kernel, cluster, args, dist_args,
+                                        scheduler, kernel_name)
+        else:
+            launches = _run_static(kernel, cluster, args, dist_args,
+                                   partitions, kernel_name)
     finally:
         for device, was_deferred in zip(devices, previous):
             device.set_deferred(was_deferred)
-    return results
+    _record_calibration(kernel_name, launches)
+    return [result for _device, _partition, result in launches]
+
+
+# -- timeline measurement -------------------------------------------------------
 
 
 @dataclass
@@ -214,7 +764,9 @@ class ClusterTimeline:
     #: wall-clock span on the simulated timeline: latest event end minus
     #: earliest event start, across every device involved
     makespan_seconds: float
-    #: per-device busy time (sum of that device's event durations)
+    #: per-device busy time (sum of that device's event durations),
+    #: keyed by device *label* — identity, not model name — so two
+    #: same-model devices get separate buckets
     busy_seconds: dict
     #: what the same work would take with the devices serialized
     serialized_seconds: float = field(init=False)
@@ -229,20 +781,26 @@ class ClusterTimeline:
 
 
 def timeline_of(results) -> ClusterTimeline:
-    """Measure the overlap of a list of (completed) EvalResults.
+    """Measure the overlap of completed EvalResults and/or Events.
 
-    The events of each result carry simulated start/end stamps on their
-    device's timeline; the makespan spans all of them, while the
-    serialized time is what a one-device-at-a-time host loop would pay.
+    ``results`` may mix :class:`EvalResult` objects and bare events
+    (e.g. ``DistributedArray.last_gather_events``).  The events carry
+    simulated start/end stamps on their device's timeline; the makespan
+    spans all of them, while the serialized time is what a
+    one-device-at-a-time host loop would pay.  Busy time is keyed by
+    device *identity* (label), never by model name: two identical
+    devices must not merge into one bucket.
     """
-    events = [e for r in results for e in r.events]
+    events = []
+    for r in results:
+        events.extend(r.events if hasattr(r, "events") else [r])
     if not events:
         raise HPLError("timeline_of needs at least one event")
     start = min(e.profile_start for e in events)
     end = max(e.profile_end for e in events)
     busy: dict = {}
     for event in events:
-        busy[event.device_name] = busy.get(event.device_name, 0.0) \
-            + event.duration
+        key = event.device_label or event.device_name
+        busy[key] = busy.get(key, 0.0) + event.duration
     return ClusterTimeline(makespan_seconds=(end - start) * 1e-9,
                            busy_seconds=busy)

@@ -152,6 +152,12 @@ class HPLDevice:
         return self.ocl.name
 
     @property
+    def label(self) -> str:
+        """Unique device identity (``name#index``); two devices of the
+        same model share a name but never a label."""
+        return self.ocl.label
+
+    @property
     def is_cpu(self) -> bool:
         return self.ocl.is_cpu
 

@@ -16,19 +16,37 @@ class Device:
     the execution engine used for kernels enqueued to it.  The lock-step
     ``vector`` engine is the default; the ``serial`` reference interpreter
     can be requested for debugging/differential testing.
+
+    ``index`` is the device's position in the platform roster.  Two
+    devices of the same model share a *name* but never an index, so
+    :attr:`label` is the identity to key per-device accounting by
+    (timeline buckets, trace rows); keying by ``name`` merges same-model
+    devices into one bucket.
     """
 
-    def __init__(self, spec: DeviceSpec, engine: str = "vector") -> None:
+    def __init__(self, spec: DeviceSpec, engine: str = "vector",
+                 index: int | None = None) -> None:
         if engine not in _ENGINES:
             raise ValueError(f"unknown engine {engine!r}")
         self.spec = spec
         self.engine_name = engine
+        self.index = index
 
     # -- clGetDeviceInfo-style properties -----------------------------------
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def label(self) -> str:
+        """Unique identity: the name suffixed with the roster index.
+
+        Directly-constructed devices (no roster) keep the bare name.
+        """
+        if self.index is None:
+            return self.spec.name
+        return f"{self.spec.name}#{self.index}"
 
     @property
     def vendor(self) -> str:

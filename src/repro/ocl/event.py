@@ -38,6 +38,10 @@ class Event:
     _profiling_enabled: bool = field(default=True, repr=False)
     #: name of the device whose queue produced this event (diagnostics)
     device_name: str = field(default="", repr=False)
+    #: unique identity of that device (``name#index``); unlike
+    #: ``device_name`` it distinguishes two devices of the same model,
+    #: so per-device accounting must key by it
+    device_label: str = field(default="", repr=False)
     #: owning queue, set for deferred commands so wait() can drive them
     _queue: object = field(default=None, repr=False, compare=False)
     _callbacks: list = field(default_factory=list, repr=False,

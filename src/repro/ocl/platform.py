@@ -39,7 +39,8 @@ class Platform:
     def __init__(self, specs=None, engine: str | None = None) -> None:
         specs = _current_specs if specs is None else tuple(specs)
         engine = _default_engine if engine is None else engine
-        self._devices = tuple(Device(s, engine) for s in specs)
+        self._devices = tuple(Device(s, engine, index=i)
+                              for i, s in enumerate(specs))
 
     def get_devices(self, dtype: device_type = device_type.ALL):
         """Devices of the requested type, GPU-class devices first."""

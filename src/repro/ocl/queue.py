@@ -114,7 +114,8 @@ class CommandQueue:
             event = Event(command=command,
                           status=command_status.QUEUED, wait_list=deps,
                           _profiling_enabled=self.profiling,
-                          device_name=self.device.name)
+                          device_name=self.device.name,
+                          device_label=self.device.label)
             parent = trace.current_span()
             self._execute(event, payload, attrs,
                           parent.span_id if parent else None)
@@ -122,7 +123,8 @@ class CommandQueue:
         event = Event(command=command, status=command_status.QUEUED,
                       wait_list=deps,
                       _profiling_enabled=self.profiling,
-                      device_name=self.device.name, _queue=self)
+                      device_name=self.device.name,
+                      device_label=self.device.label, _queue=self)
         parent = trace.current_span()
         self._pending.append(_Command(
             event, payload, attrs, next(self._seq),
@@ -144,7 +146,7 @@ class CommandQueue:
         event.end_ns = end_ns
         event.counters = counters
         event.breakdown = breakdown
-        trace.device_event(self.device.name, event.command.name.lower(),
+        trace.device_event(self.device.label, event.command.name.lower(),
                            start_ns, end_ns, category="simcl",
                            parent_id=trace_parent, **attrs, **extra)
         event._complete()

@@ -66,7 +66,7 @@ class TestDeferredClusterEval:
             results += cluster_eval(saxpy_part, c, dy, dx, Float(2.0),
                                     deferred=True)
         tl = timeline_of(results)
-        assert set(tl.busy_seconds) == {d.name for d in c.devices}
+        assert set(tl.busy_seconds) == {d.label for d in c.devices}
         assert tl.serialized_seconds == pytest.approx(
             sum(tl.busy_seconds.values()))
         assert tl.makespan_seconds < tl.serialized_seconds

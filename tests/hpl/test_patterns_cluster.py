@@ -147,10 +147,18 @@ class TestCluster:
         for (a0, a1), (b0, b1) in zip(bounds, bounds[1:]):
             assert a1 == b0
 
-    def test_partition_too_small_rejected(self):
+    def test_partition_smaller_than_cluster_degrades(self):
+        # n < devices: first n devices get one element each, the rest
+        # get empty partitions (skipped at eval time) — not an error
+        c = Cluster()
+        bounds = c.partition_bounds(1)
+        assert bounds[0] == (0, 1)
+        assert all(lo == hi for lo, hi in bounds[1:])
+
+    def test_negative_count_rejected(self):
         c = Cluster()
         with pytest.raises(DomainError):
-            c.partition_bounds(1)
+            c.partition_bounds(-1)
 
     def test_scatter_gather_roundtrip(self, rng):
         c = Cluster()
