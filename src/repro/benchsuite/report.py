@@ -80,6 +80,26 @@ def format_cluster_lb(row: dict) -> str:
     return "\n".join(out)
 
 
+def format_cluster_faults(row: dict) -> str:
+    """Render the fault-recovery matrix (cluster-faults)."""
+    out = [f"Cluster fault recovery: {row['n']}-element kernel "
+           f"({row['iters']} iters/item), {row['schedule']} schedule",
+           _rule(),
+           f"{'fault plan':<14}{'makespan':>12}{'overhead':>10}"
+           f"{'retries':>9}{'requeued':>10}  lost devices", _rule()]
+    for name, leg in row["legs"].items():
+        lost = ", ".join(leg["devices_lost"]) or "-"
+        out.append(
+            f"{name:<14}{leg['makespan_seconds'] * 1e3:>10.3f}ms"
+            f"{row['overhead'][name]:>9.2f}x"
+            f"{leg['retries']:>9}{leg['requeued_items']:>10}  {lost}")
+    out += [_rule(),
+            f"{'all fault legs bit-identical':<44}"
+            f"{str(row['results_identical']):>14}",
+            _rule()]
+    return "\n".join(out)
+
+
 def format_table1(rows: list[dict]) -> str:
     """Render Table I (SLOC comparison)."""
     out = ["Table I: SLOCs for the OpenCL and HPL versions of the "

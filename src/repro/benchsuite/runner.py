@@ -738,6 +738,116 @@ def run_cluster_lb(n: int = 1 << 14, iters: int = 64,
     return row
 
 
+def run_cluster_faults(n: int = 1 << 14, iters: int = 48,
+                       output: str | None = "BENCH_cluster_faults.json"
+                       ) -> dict:
+    """Fault-tolerant cluster execution under a seeded fault matrix.
+
+    Runs one compute-bound partitioned kernel on the paper's
+    three-device mix under the dynamic scheduler, four times:
+
+    * ``none`` — the healthy baseline,
+    * ``transient`` — the Tesla's first two kernel launches fail with
+      ``OUT_OF_RESOURCES`` and are retried with simulated backoff,
+    * ``device-lost`` — the Quadro dies mid-run, is quarantined, and
+      its chunks are re-run on the survivors,
+    * ``straggler`` — the Quadro runs 8x slow; no recovery, just a
+      rebalanced timeline.
+
+    Recovery must be *correct* before it is fast: every leg's gathered
+    result must be bit-identical to the no-fault leg (CI gates on
+    ``results_identical`` and on *recovery* overhead <= 2x — the
+    transient and device-lost legs; the straggler leg is slow hardware,
+    not recovery, so its makespan is reported but not gated).  The
+    retry backoff is set proportional to the simulated kernel times so
+    the measured overhead reflects re-run work, not an arbitrary
+    wall-clock constant.  The row (written as
+    ``BENCH_cluster_faults.json``) records per-leg makespans,
+    retry/requeue counts, and the overhead ratios.
+    """
+    import json
+
+    import numpy as np
+
+    from ..hpl import (Cluster, DistributedArray, Float, Int,
+                       cluster_eval, endfor_, float_, for_, get_devices,
+                       idx, timeline_of)
+    from ..hpl import configure as hpl_configure
+    from ..hpl import sqrt as hpl_sqrt
+
+    def ft_heavy(y, x, a, offset, count):
+        acc = Float(0.0)
+        j = Int()
+        for_(j, 0, iters)
+        acc.assign(acc + hpl_sqrt(x[idx] * x[idx] + a * acc + 1.0))
+        endfor_()
+        y[idx] = acc
+
+    rng = np.random.default_rng(42)
+    xs = rng.random(n).astype(np.float32)
+
+    plans = {
+        "none": None,
+        "transient": "device=Tesla kind=transient op=kernel nth=1 "
+                     "count=2; seed=1",
+        "device-lost": "device=Quadro kind=lost at=1e-6; seed=2",
+        "straggler": "device=Quadro kind=slow factor=8; seed=3",
+    }
+
+    def one_leg(plan):
+        reset_runtime()
+        hpl_configure(faults=plan)
+        try:
+            cluster = Cluster(get_devices())
+            dx = DistributedArray(float_, n, cluster, data=xs)
+            dy = DistributedArray(float_, n, cluster)
+            results = cluster_eval(ft_heavy, cluster, dy, dx,
+                                   Float(0.5), schedule="dynamic",
+                                   backoff=1e-7)
+            out = dy.gather()
+        finally:
+            hpl_configure(faults=None)
+        timeline = timeline_of(results)
+        f = results.failures
+        return {
+            "makespan_seconds": timeline.makespan_seconds,
+            "overlap_factor": timeline.overlap_factor,
+            "launches": len(results),
+            "retries": f.retries,
+            "transient_failures": f.transient_failures,
+            "devices_lost": list(f.devices_lost),
+            "requeued_items": f.requeued_items,
+            "backoff_seconds": f.backoff_seconds,
+            "checksum": float(out.sum()),
+        }, out
+
+    legs, outs = {}, {}
+    for name, plan in plans.items():
+        legs[name], outs[name] = one_leg(plan)
+    base = outs["none"]
+    baseline = legs["none"]["makespan_seconds"]
+    row = {
+        "n": n,
+        "iters": iters,
+        "schedule": "dynamic",
+        "legs": legs,
+        "overhead": {name: leg["makespan_seconds"] / baseline
+                     for name, leg in legs.items()},
+        #: the CI gate: worst recovery-path overhead over no-fault
+        "recovery_overhead": max(
+            legs["transient"]["makespan_seconds"],
+            legs["device-lost"]["makespan_seconds"]) / baseline,
+        "results_identical": bool(all(
+            np.array_equal(base, outs[name]) for name in plans)),
+        "checksum": legs["none"]["checksum"],
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
+
+
 # -- command-line entry point -------------------------------------------------
 #
 # ``python -m repro.benchsuite [target ...] [--trace out.json] [--verbose]``
@@ -755,6 +865,8 @@ def _cli_targets() -> dict:
         "ep": (run_ep, None),
         "cluster": (run_cluster, report.format_cluster),
         "cluster-lb": (run_cluster_lb, report.format_cluster_lb),
+        "cluster-faults": (run_cluster_faults,
+                           report.format_cluster_faults),
         "table1": (run_table1, report.format_table1),
         "fig6": (run_fig6, report.format_fig6),
         "fig7": (run_fig7, report.format_fig7),

@@ -125,6 +125,15 @@ class DeviceNotAvailable(CLError):
     code = "CL_DEVICE_NOT_AVAILABLE"
 
 
+class DeviceLost(DeviceNotAvailable):
+    """A simulated device died and will not come back.
+
+    Raised (or surfaced as a ``DEVICE_NOT_AVAILABLE`` event status) by
+    the fault-injection layer; :func:`repro.hpl.cluster.cluster_eval`
+    treats it as permanent and quarantines the device instead of
+    retrying."""
+
+
 class ProfilingInfoNotAvailable(CLError):
     code = "CL_PROFILING_INFO_NOT_AVAILABLE"
 
@@ -159,3 +168,13 @@ class DomainError(HPLError):
 
 class CoherenceError(HPLError):
     """Illegal host/device data movement (e.g. writing constant memory)."""
+
+
+class FaultPlanError(HPLError):
+    """A fault-plan string (``HPL_FAULTS`` / ``hpl.configure(faults=)``)
+    does not follow the grammar documented in ``docs/faults.md``."""
+
+
+class ClusterExecutionError(HPLError):
+    """A cluster evaluation could not be completed even after recovery —
+    typically every device in the cluster was quarantined."""

@@ -23,11 +23,11 @@ invocation interface (§III-C).
 from .analysis import KernelInfo, analyze_kernel
 from .array import Array
 from .builder import KernelBuilder
-from .cluster import (Cluster, ClusterTimeline, DistributedArray,
-                      DynamicScheduler, Partition, Scheduler, SCHEDULERS,
-                      UniformScheduler, WeightedScheduler, calibration,
-                      cluster_eval, device_throughput, get_scheduler,
-                      timeline_of)
+from .cluster import (Cluster, ClusterResult, ClusterTimeline,
+                      DistributedArray, DynamicScheduler, FailureSummary,
+                      Partition, Scheduler, SCHEDULERS, UniformScheduler,
+                      WeightedScheduler, calibration, cluster_eval,
+                      device_throughput, get_scheduler, timeline_of)
 from .codegen import generate_source
 from .control import (break_, continue_, elif_, else_, endfor_, endif_,
                       endwhile_, for_, if_, return_, while_)
@@ -76,8 +76,8 @@ __all__ = [
     # persistent kernel binary cache
     "configure", "KernelDiskCache",
     # multi-device cluster extension
-    "Cluster", "ClusterTimeline", "DistributedArray", "cluster_eval",
-    "timeline_of",
+    "Cluster", "ClusterResult", "ClusterTimeline", "DistributedArray",
+    "cluster_eval", "timeline_of", "FailureSummary",
     # cluster scheduling policies
     "Scheduler", "UniformScheduler", "WeightedScheduler",
     "DynamicScheduler", "Partition", "SCHEDULERS", "get_scheduler",
@@ -91,7 +91,7 @@ _UNSET = object()
 
 
 def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
-              profile=_UNSET):
+              profile=_UNSET, faults=_UNSET):
     """Configure process-wide HPL runtime policy.
 
     ``cache_dir`` enables the persistent kernel cache (``None`` disables
@@ -101,6 +101,10 @@ def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
     ``-cl-opt-disable`` options still win.  ``profile`` turns the
     source-level kernel profiler (:mod:`repro.prof`) on or off; the
     ``HPL_PROFILE`` environment variable sets the initial state.
+    ``faults`` installs a fault-injection plan — a
+    :class:`repro.ocl.FaultPlan` or a plan string (see
+    ``docs/faults.md``); ``None`` removes the active plan.  The
+    ``HPL_FAULTS`` environment variable sets the initial plan.
     Arguments that are not passed leave their aspect untouched, so
     ``hpl.configure(opt_level=1)`` does not disturb the cache setup.
 
@@ -121,6 +125,9 @@ def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
             prof.enable()
         else:
             prof.disable()
+    if faults is not _UNSET:
+        from ..ocl import faults as _faults
+        _faults.configure(faults)
     return result
 
 

@@ -245,6 +245,8 @@ class Array:
                 wait_for=[producer] if producer is not None else None)
 
             def _done(ev, self=self):
+                if ev.is_failed:
+                    return      # d2h never ran; the host copy is still stale
                 self._host_valid = True
                 self.host_event = ev
 
@@ -287,6 +289,19 @@ class Array:
                                      wait_for=deps)
             self._device_valid[dev] = True
             self._device_event[dev] = event
+
+            def _undo(ev, self=self, dev=dev):
+                # the h2d never ran (injected fault or failed
+                # dependency): forget the optimistic validity so a
+                # retry re-copies instead of dead-ending on the
+                # failed producer event
+                if not ev.is_failed:
+                    return
+                if self._device_event.get(dev) is ev:
+                    self._device_valid[dev] = False
+                    self._device_event.pop(dev, None)
+
+            event.add_callback(_undo)
             return event
         return None
 
@@ -294,8 +309,14 @@ class Array:
         """After a kernel wrote this array on ``dev``.
 
         ``event`` is the kernel's event; recording it lets later
-        transfers and launches depend on the write explicitly.
+        transfers and launches depend on the write explicitly.  If that
+        event later *fails* (fault injection, failed dependency), the
+        kernel never touched memory, so the pre-launch coherence state
+        is restored — a retry sees the array exactly as before the
+        doomed launch.
         """
+        prev = (self._host_valid, self.host_event,
+                dict(self._device_valid), dict(self._device_event))
         for d in self._device_valid:
             self._device_valid[d] = d is dev
         self._device_valid[dev] = True
@@ -303,6 +324,20 @@ class Array:
         self.host_event = None
         if event is not None:
             self._device_event[dev] = event
+
+            def _undo(ev, self=self, dev=dev, prev=prev):
+                if not ev.is_failed:
+                    return
+                if self._device_event.get(dev) is not ev:
+                    return      # a newer write superseded this one
+                self._host_valid, self.host_event = prev[0], prev[1]
+                restored_valid = dict(prev[2])
+                for d in self._device_valid:    # buffers created since
+                    restored_valid.setdefault(d, False)
+                self._device_valid = restored_valid
+                self._device_event = dict(prev[3])
+
+            event.add_callback(_undo)
 
     def device_event_on(self, dev):
         """The event that produced the copy on ``dev``, if recorded."""

@@ -31,12 +31,14 @@ one-host multi-GPU OpenCL program moves data.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .. import trace
-from ..errors import DomainError, HPLError
+from ..errors import (ClusterExecutionError, DeviceNotAvailable,
+                      DomainError, HPLError, OutOfResources)
 from .array import Array
 from .dtypes import HPLType
 from .evaluator import eval as hpl_eval
@@ -79,12 +81,31 @@ class Cluster:
             if not isinstance(d, HPLDevice):
                 raise HPLError(f"{d!r} is not an HPL device")
         self.devices = devices
+        #: devices removed from the rotation by :meth:`quarantine`
+        self.lost: list = []
 
     def __len__(self) -> int:
         return len(self.devices)
 
     def __repr__(self) -> str:
-        return f"<Cluster of {len(self.devices)} device(s)>"
+        lost = f", {len(self.lost)} lost" if self.lost else ""
+        return f"<Cluster of {len(self.devices)} device(s){lost}>"
+
+    def quarantine(self, device: HPLDevice) -> None:
+        """Remove a permanently failed device from the rotation.
+
+        Called by :func:`cluster_eval`'s recovery path; subsequent
+        plans see only the survivors.  Quarantining the last device
+        raises :class:`ClusterExecutionError` — there is nobody left
+        to compute."""
+        if device not in self.devices:
+            return
+        if len(self.devices) == 1:
+            raise ClusterExecutionError(
+                f"device {device.label!r} failed permanently and no "
+                "other device remains in the cluster")
+        self.devices.remove(device)
+        self.lost.append(device)
 
     def partition_bounds(self, n: int) -> list[tuple[int, int]]:
         """Contiguous block partition of ``n`` elements over the devices.
@@ -129,40 +150,55 @@ def device_throughput(spec) -> float:
 
 
 class CalibrationStore:
-    """Measured per-(kernel, device-model) throughput history.
+    """Measured per-(kernel, device) throughput history.
 
     Every :func:`cluster_eval` records, for each launch it made, the
     observed ``items / simulated second`` of that kernel on that device
-    model (an exponential moving average, so the estimate tracks the
-    current problem regime).  The :class:`WeightedScheduler` consults
-    this store before falling back to spec-derived estimates — closing
-    the profiler -> cost-model -> scheduler feedback loop.
+    (an exponential moving average, so the estimate tracks the current
+    problem regime).  The :class:`WeightedScheduler` consults this
+    store before falling back to spec-derived estimates — closing the
+    profiler -> cost-model -> scheduler feedback loop.
+
+    Entries are keyed by device *identity* — the ``name#index`` label —
+    never by bare model name: two same-model devices run at the same
+    nominal speed but may see very different regimes (one behind a slow
+    link, one quarantined and restored, one straggling under a fault
+    plan), and merging their EMAs would corrupt both estimates.
     """
 
     #: EMA smoothing: weight of the newest observation
     ALPHA = 0.5
 
     def __init__(self) -> None:
-        self._tput: dict = {}       # (kernel_name, device_name) -> it/s
+        self._tput: dict = {}       # (kernel_name, device_label) -> it/s
         self._samples: dict = {}    # same key -> observation count
 
-    def record(self, kernel_name: str, device_name: str,
+    @staticmethod
+    def _label_of(device) -> str:
+        """Accept an :class:`HPLDevice` or its ``name#index`` label."""
+        return device if isinstance(device, str) else device.label
+
+    def record(self, kernel_name: str, device,
                items: int, seconds: float) -> None:
         if items <= 0 or seconds <= 0.0:
             return
-        key = (kernel_name, device_name)
+        key = (kernel_name, self._label_of(device))
         observed = items / seconds
         prev = self._tput.get(key)
         self._tput[key] = observed if prev is None \
             else self.ALPHA * observed + (1.0 - self.ALPHA) * prev
         self._samples[key] = self._samples.get(key, 0) + 1
 
-    def throughput(self, kernel_name: str, device_name: str):
-        """Measured items/second, or ``None`` if never observed."""
-        return self._tput.get((kernel_name, device_name))
+    def throughput(self, kernel_name: str, device):
+        """Measured items/second, or ``None`` if never observed.
 
-    def samples(self, kernel_name: str, device_name: str) -> int:
-        return self._samples.get((kernel_name, device_name), 0)
+        ``device`` is an :class:`HPLDevice` or its unique label
+        (``name#index``)."""
+        return self._tput.get((kernel_name, self._label_of(device)))
+
+    def samples(self, kernel_name: str, device) -> int:
+        return self._samples.get(
+            (kernel_name, self._label_of(device)), 0)
 
     def reset(self) -> None:
         self._tput.clear()
@@ -170,7 +206,8 @@ class CalibrationStore:
 
 
 #: process-wide store; survives ``reset_runtime()`` on purpose — device
-#: *models* keep their measured speed across runtime resets
+#: labels are stable across runtime resets (the roster keeps its
+#: order), so measured speeds carry over
 _CALIBRATION = CalibrationStore()
 
 
@@ -196,7 +233,7 @@ def _resolve_weights(weights, calibrate: bool, cluster: Cluster,
                 f"{len(cluster.devices)}-device cluster")
         return list(weights), "explicit"
     if calibrate and kernel_name is not None:
-        measured = [_CALIBRATION.throughput(kernel_name, d.name)
+        measured = [_CALIBRATION.throughput(kernel_name, d.label)
                     for d in cluster.devices]
         if all(t is not None for t in measured):
             return list(measured), "calibrated"
@@ -485,21 +522,38 @@ class DistributedArray:
 
         The per-device transfers overlap on the simulated timeline;
         their events are kept in :attr:`last_gather_events` so
-        :func:`timeline_of` can measure the overlap.
+        :func:`timeline_of` can measure the overlap.  Empty (``None``)
+        partitions — common after a :meth:`repartition` with more
+        blocks than elements — are skipped, and the event list holds
+        only real transfer events (one per partition that needed a
+        copy), never placeholder holes.
         """
         self.last_gather_events = self._sync_parts()
         return self._full.copy()
 
     def scatter(self, data: np.ndarray) -> None:
-        """Replace the contents from a host array."""
+        """Replace the contents from a host array.
+
+        Writes go through the *full* host buffer — the single source of
+        truth every partition views — never through a partition's
+        ``data`` accessor: the old contents are about to be overwritten
+        wholesale, so pulling them back from the devices first (which
+        ``part.data`` does) would be pure waste, and any stale
+        pre-``repartition`` view someone kept alive must not receive
+        the new contents.  Device copies are invalidated so the next
+        launch re-uploads the new data.
+        """
         data = np.asarray(data, dtype=self.dtype.np_dtype)
         if data.size != self.n:
             raise HPLError(
                 f"scatter of {data.size} element(s) into a "
                 f"{self.n}-element DistributedArray")
-        for (lo, hi), part in zip(self.bounds, self.parts):
+        self._full[:] = data.reshape(self.n)
+        for part in self.parts:
             if part is not None:
-                part.data[:] = data[lo:hi]
+                part._host_valid = True
+                part.host_event = None
+                part._invalidate_devices()
 
     def __repr__(self) -> str:
         return (f"<DistributedArray {self.dtype}[{self.n}] over "
@@ -559,49 +613,309 @@ def _record_calibration(kernel_name: str, launches) -> None:
             seconds = result.kernel_event.duration
         except Exception:       # profiling disabled on a custom queue
             continue
-        _CALIBRATION.record(kernel_name, device.name,
+        _CALIBRATION.record(kernel_name, device.label,
                             partition.size, seconds)
 
 
+# -- failure recovery -----------------------------------------------------------
+
+
+@dataclass
+class FailureSummary:
+    """What recovery had to do during one :func:`cluster_eval`.
+
+    Attached to the returned :class:`ClusterResult` as ``.failures``;
+    all-zero (``clean``) on a healthy run.
+    """
+
+    #: individual command/launch failures classified as transient
+    transient_failures: int = 0
+    #: retry attempts made (each adds a capped-exponential backoff)
+    retries: int = 0
+    #: labels of devices quarantined mid-run, in quarantine order
+    devices_lost: list = field(default_factory=list)
+    #: index-space items whose blocks had to be re-run elsewhere
+    requeued_items: int = 0
+    #: total simulated backoff delay injected into device clocks
+    backoff_seconds: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when no fault touched the run."""
+        return not (self.transient_failures or self.devices_lost
+                    or self.requeued_items)
+
+
+class ClusterResult(list):
+    """The per-partition :class:`EvalResult` list of one
+    :func:`cluster_eval`, with the recovery record on ``.failures``.
+
+    A plain ``list`` subclass: existing call sites that index, iterate
+    or ``+=`` the result keep working unchanged.
+    """
+
+    def __init__(self, results, failures: FailureSummary) -> None:
+        super().__init__(results)
+        self.failures = failures
+
+
+#: backoff doubles per attempt, capped at base * 2**_BACKOFF_CAP
+_BACKOFF_CAP = 3
+
+
+def _backoff_delay(base: float, attempt: int) -> float:
+    """Capped exponential backoff for retry ``attempt`` (0-based)."""
+    return base * (2 ** min(attempt, _BACKOFF_CAP))
+
+
+def _failure_kind(error) -> str:
+    """Classify a launch/command failure for the recovery policy.
+
+    ``permanent`` (device gone — quarantine, no retry), ``transient``
+    (resource hiccup — retry with backoff), or ``fatal`` (a genuine
+    bug such as a kernel trap: re-raise, recovery would only mask it).
+    """
+    if isinstance(error, DeviceNotAvailable):
+        return "permanent"
+    if isinstance(error, OutOfResources):
+        return "transient"
+    return "fatal"
+
+
+def _reclaim_part(part, dead) -> bool:
+    """Roll a partition stranded on dead devices back to the host.
+
+    A part is *stranded* when its only valid copies sit on quarantined
+    devices: the data cannot be fetched, but the part's host slice
+    still holds the pre-launch contents, so the owning block can simply
+    be recomputed.  Returns True when the part was stranded (callers
+    must requeue its block).
+    """
+    if part is None or part._host_valid:
+        return False
+    holders = [d for d, ok in part._device_valid.items() if ok]
+    if not holders or not all(d in dead for d in holders):
+        return False
+    part._host_valid = True     # stale data; the block will re-run
+    for d in holders:
+        part._device_valid[d] = False
+    part._device_event.clear()
+    part.host_event = None
+    return True
+
+
+def _reclaim_stranded(dist_args, dead) -> set:
+    """Reclaim every stranded partition; the set of their bounds."""
+    stranded = set()
+    for a in dist_args:
+        for (lo, hi), part in zip(a.bounds, a.parts):
+            if _reclaim_part(part, dead):
+                stranded.add((lo, hi))
+    return stranded
+
+
+def _retry_span(kernel_name, device, lo, hi, attempt, delay) -> None:
+    trace.get_registry().counter("cluster.retries").inc()
+    with trace.span("recover", category="cluster", action="retry",
+                    kernel=kernel_name, device=device.label, lo=lo,
+                    hi=hi, attempt=attempt, backoff_seconds=delay):
+        pass
+
+
+def _repartition_with_retries(dist_args, bounds, max_retries,
+                              backoff, summary) -> None:
+    """Repartition all arrays, retrying transient sync failures.
+
+    ``repartition`` is idempotent per array (already-moved arrays
+    early-return, already-synced parts are skipped), so re-running the
+    whole loop after a transient d2h failure only redoes the failed
+    work.  A *permanent* failure here means a device died holding data
+    recovery had not reclaimed — unrecoverable by re-running blocks, so
+    it surfaces as :class:`ClusterExecutionError`.
+    """
+    attempt = 0
+    while True:
+        try:
+            for a in dist_args:
+                a.repartition(bounds)
+            return
+        except DeviceNotAvailable as exc:
+            raise ClusterExecutionError(
+                "a device died while re-balancing partitions; its "
+                "unsynchronised contents are unrecoverable") from exc
+        except OutOfResources:
+            if attempt >= max_retries:
+                raise
+            delay = _backoff_delay(backoff, attempt)
+            attempt += 1
+            summary.transient_failures += 1
+            summary.retries += 1
+            summary.backoff_seconds += delay
+            trace.get_registry().counter("cluster.retries").inc()
+            with trace.span("recover", category="cluster",
+                            action="retry", op="repartition",
+                            attempt=attempt, backoff_seconds=delay):
+                pass
+
+
+def _quarantine_and_requeue(kernel_name, cluster, dist_args, lost,
+                            max_retries, backoff, summary, done) -> list:
+    """Quarantine dead devices and split their blocks over survivors.
+
+    ``lost`` maps each dead device to the partitions that failed on it.
+    Blocks whose data was stranded on a dead device (including blocks
+    that *succeeded* earlier — their results are dropped from ``done``)
+    are rolled back to the host and split over the surviving devices;
+    every DistributedArray is repartitioned to the new layout.  Returns
+    the new (partition, device) work items.
+    """
+    registry = trace.get_registry()
+    dead = []
+    requeue_ranges = set()
+    for device, partitions in lost:
+        cluster.quarantine(device)      # raises when nobody is left
+        dead.append(device)
+        summary.devices_lost.append(device.label)
+        registry.counter("cluster.device_lost").inc()
+        requeue_ranges.update((p.lo, p.hi) for p in partitions)
+        with trace.span("recover", category="cluster",
+                        action="quarantine", kernel=kernel_name,
+                        device=device.label,
+                        failed_blocks=len(partitions)):
+            pass
+    survivors = list(cluster.devices)
+    stranded = _reclaim_stranded(dist_args, set(dead))
+    for bounds_key in stranded:
+        done.pop(bounds_key, None)
+    requeue_ranges |= stranded
+    arr = dist_args[0]
+    new_bounds = []
+    new_work = []
+    requeued_items = 0
+    for blo, bhi in arr.bounds:
+        if (blo, bhi) in requeue_ranges and bhi > blo:
+            subs = [(blo + slo, blo + shi) for slo, shi
+                    in _block_bounds(bhi - blo, len(survivors))
+                    if shi > slo]
+            for i, (slo, shi) in enumerate(subs):
+                new_bounds.append((slo, shi))
+                new_work.append((Partition(slo, shi, None),
+                                 survivors[i % len(survivors)]))
+            requeued_items += bhi - blo
+        else:
+            new_bounds.append((blo, bhi))
+    summary.requeued_items += requeued_items
+    registry.counter("cluster.requeued_items").inc(requeued_items)
+    with trace.span("recover", category="cluster", action="requeue",
+                    kernel=kernel_name, items=requeued_items,
+                    survivors=len(survivors)):
+        _repartition_with_retries(dist_args, new_bounds, max_retries,
+                                  backoff, summary)
+    return new_work
+
+
 def _run_static(kernel, cluster, args, dist_args, partitions,
-                kernel_name: str) -> list:
-    """One launch per non-empty partition on its assigned device."""
-    launches = []
-    for part_index, partition in enumerate(partitions):
-        if partition.size <= 0:
-            continue
-        device = cluster.devices[partition.rank]
-        _check_broadcast_writes(kernel, args,
-                                _local_args(args, dist_args, part_index))
-        with trace.span("cluster_partition", category="cluster",
-                        kernel=kernel_name, device=device.label,
-                        rank=partition.rank, lo=partition.lo,
-                        hi=partition.hi):
-            result = _launch(kernel, device, args, dist_args, part_index)
-        launches.append((device, partition, result))
-    for _device, _partition, result in launches:
-        result.wait()
-    return launches
+                kernel_name: str, max_retries: int, backoff: float,
+                summary: FailureSummary) -> list:
+    """One launch per non-empty partition on its assigned device.
+
+    Launches proceed in waves: every outstanding block is launched
+    (and, in deferred mode, its event graph driven) before any failure
+    is acted on, so healthy partitions keep overlapping while a doomed
+    one fails.  Transient failures re-enter the next wave on the same
+    device after a simulated-clock backoff; permanent ones quarantine
+    the device and split its blocks over the survivors.
+    """
+    arr = dist_args[0]
+    work = [(p, cluster.devices[p.rank])
+            for p in partitions if p.size > 0]
+    done: dict = {}             # (lo, hi) -> (device, partition, result)
+    attempts: dict = {}         # (lo, hi) -> transient retries used
+    while work:
+        wave = []
+        for partition, device in work:
+            part_index = arr.bounds.index((partition.lo, partition.hi))
+            _check_broadcast_writes(
+                kernel, args, _local_args(args, dist_args, part_index))
+            result, error = None, None
+            with trace.span("cluster_partition", category="cluster",
+                            kernel=kernel_name, device=device.label,
+                            rank=partition.rank, lo=partition.lo,
+                            hi=partition.hi):
+                try:
+                    result = _launch(kernel, device, args, dist_args,
+                                     part_index)
+                except (DeviceNotAvailable, OutOfResources) as exc:
+                    error = exc     # e.g. an injected build failure
+            wave.append((partition, device, result, error))
+        # drive everything before classifying anything: one failure
+        # must not keep its siblings' overlapping work from running
+        for _p, _d, result, _e in wave:
+            if result is not None:
+                result.drive()
+        work = []
+        lost: dict = {}
+        for partition, device, result, error in wave:
+            key = (partition.lo, partition.hi)
+            if error is None:
+                failed = result.failed_event
+                if failed is None:
+                    done[key] = (device, partition, result)
+                    continue
+                error = failed.error
+            kind = _failure_kind(error)
+            if kind == "fatal":
+                raise error
+            used = attempts.get(key, 0)
+            if kind == "transient" and used < max_retries:
+                attempts[key] = used + 1
+                delay = _backoff_delay(backoff, used)
+                device.queue.clock += delay
+                summary.transient_failures += 1
+                summary.retries += 1
+                summary.backoff_seconds += delay
+                _retry_span(kernel_name, device, partition.lo,
+                            partition.hi, used + 1, delay)
+                work.append((partition, device))
+            else:
+                if kind == "transient":     # retries exhausted
+                    summary.transient_failures += 1
+                lost.setdefault(id(device), (device, []))[1].append(
+                    partition)
+        if lost:
+            work.extend(_quarantine_and_requeue(
+                kernel_name, cluster, dist_args, list(lost.values()),
+                max_retries, backoff, summary, done))
+    return [done[(lo, hi)] for lo, hi in arr.bounds if hi > lo]
 
 
 def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
-                 kernel_name: str) -> list:
+                 kernel_name: str, max_retries: int, backoff: float,
+                 summary: FailureSummary) -> list:
     """On-demand chunk dispatch: each chunk goes to the device whose
     event graph drains first on the simulated timeline.
 
     Chunks are cut lazily — the scheduler sizes each one for the device
     that requests it (its throughput share of the remaining work), so a
-    slow device never grabs a large early chunk.  A completion callback
-    on every chunk's kernel event returns its device to the ready-heap
-    stamped with the chunk's simulated end time, so assignment order is
-    decided by the devices' simulated clocks — the behaviour of a real
-    work-stealing host thread — not by host-loop enqueue order.
+    slow device never grabs a large early chunk.  Each finished chunk
+    returns its device to the ready-heap stamped with the chunk's
+    simulated end time, so assignment order is decided by the devices'
+    simulated clocks — the behaviour of a real work-stealing host
+    thread — not by host-loop enqueue order.
+
+    Failures are handled per chunk: a transient failure puts the chunk
+    back on the requeue (any ready device may pick it up) after a
+    simulated-clock backoff; a permanent one quarantines the device and
+    requeues both its failed chunk and any *earlier* chunks whose only
+    valid data was stranded on it.  The requeue is served before new
+    index space is cut, so the chunk layout stays a contiguous cover.
 
     The DistributedArray arguments end up partitioned along the chunk
     bounds (their host copies refreshed first, so the chunk views read
     current data); ``gather`` works on the chunk layout as usual.
     """
-    devices = cluster.devices
+    devices = list(cluster.devices)     # stable ranks across quarantine
+    active = set(range(len(devices)))
     n = dist_args[0].n
     registry = trace.get_registry()
     weights, source = scheduler.weights_for(cluster, kernel_name)
@@ -616,60 +930,136 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
     ready = [(int(d.queue.clock * 1e9), rank)
              for rank, d in enumerate(devices)]
     heapq.heapify(ready)
-    launches = []
+    slot_result: dict = {}      # slot -> (device, partition, result)
+    attempts: dict = {}         # slot -> transient retries used
+    requeue: deque = deque()    # slots waiting to be re-run
     lo = 0
-    while lo < n:
-        _avail_ns, rank = heapq.heappop(ready)
+    while lo < n or requeue:
+        while True:
+            if not ready:
+                raise ClusterExecutionError(
+                    "no device left to serve the remaining work")
+            _avail_ns, rank = heapq.heappop(ready)
+            if rank in active:
+                break
         device = devices[rank]
-        size = scheduler.next_chunk(n - lo, len(devices),
-                                    weights[rank] / total_w, min_chunk)
-        hi = lo + size
-        bounds.append((lo, hi))
+        if requeue:                     # serve lost chunks first
+            slot = requeue.popleft()
+            slo, shi = bounds[slot]
+        else:
+            size = scheduler.next_chunk(n - lo, len(active),
+                                        weights[rank] / total_w,
+                                        min_chunk)
+            slot = len(bounds)
+            slo, shi = lo, lo + size
+            bounds.append((slo, shi))
+            for a in dist_args:
+                new_parts[id(a)].append(
+                    Array(a.dtype, size, data=a._full[slo:shi]))
+            lo = shi
         local = []
         for a in args:
             if isinstance(a, DistributedArray):
-                part = Array(a.dtype, size, data=a._full[lo:hi])
-                new_parts[id(a)].append(part)
-                local.append(part)
+                local.append(new_parts[id(a)][slot])
             else:
                 local.append(a)
-        local.append(Int(lo))
-        local.append(Int(size))
-        partition = Partition(lo, hi, rank)
+        local.append(Int(slo))
+        local.append(Int(shi - slo))
+        partition = Partition(slo, shi, rank)
         _check_broadcast_writes(kernel, args, local)
-        with trace.span("cluster_chunk", category="cluster",
-                        kernel=kernel_name, device=device.label,
-                        rank=rank, chunk=len(bounds) - 1, lo=lo, hi=hi,
-                        weights=source):
-            result = hpl_eval(kernel).global_(size).device(device)(*local)
-
-        def _drained(event, rank=rank, device=device,
-                     partition=partition):
+        # attempt loop: transient failures retry on the SAME device —
+        # guided chunks are sized for the device that requested them,
+        # so migrating a large chunk to a slower survivor would turn a
+        # hiccup into a makespan cliff.  Only quarantine moves work.
+        error = None
+        while True:
+            result, error = None, None
+            with trace.span("cluster_chunk", category="cluster",
+                            kernel=kernel_name, device=device.label,
+                            rank=rank, chunk=slot, lo=slo, hi=shi,
+                            weights=source):
+                try:
+                    result = hpl_eval(kernel).global_(shi - slo) \
+                        .device(device)(*local)
+                except (DeviceNotAvailable, OutOfResources) as exc:
+                    error = exc     # e.g. an injected build failure
+            if result is not None:
+                # drive this chunk's event graph now so the device's
+                # drain time is known before the next chunk is assigned
+                result.drive()
+                failed = result.failed_event
+                if failed is None:
+                    break
+                error = failed.error
+            kind = _failure_kind(error)
+            if kind == "fatal":
+                raise error
+            used = attempts.get(slot, 0)
+            if kind != "transient" or used >= max_retries:
+                if kind == "transient":     # retries exhausted: treat
+                    summary.transient_failures += 1     # as dead
+                break
+            attempts[slot] = used + 1
+            delay = _backoff_delay(backoff, used)
+            device.queue.clock += delay
+            summary.transient_failures += 1
+            summary.retries += 1
+            summary.backoff_seconds += delay
+            _retry_span(kernel_name, device, slo, shi, used + 1, delay)
+        if error is None:
+            event = result.kernel_event
             heapq.heappush(ready, (event.end_ns, rank))
             registry.counter("cluster.chunks_dispatched").inc()
             registry.counter("cluster.chunk_items").inc(partition.size)
-            registry.counter(
-                f"cluster.chunks[{device.label}]").inc()
+            registry.counter(f"cluster.chunks[{device.label}]").inc()
             registry.counter(
                 f"cluster.chunk_items[{device.label}]").inc(
                 partition.size)
             registry.histogram("cluster.chunk_seconds").observe(
                 event.duration)
-
-        result.kernel_event.add_callback(_drained)
-        # drive this chunk's event graph now so the device's drain time
-        # is known before the next chunk is assigned
-        result.wait()
-        launches.append((device, partition, result))
-        lo = hi
+            slot_result[slot] = (device, partition, result)
+            continue
+        cluster.quarantine(device)      # raises when nobody is left
+        active.discard(rank)
+        total_w = sum(weights[r] for r in active)
+        summary.devices_lost.append(device.label)
+        registry.counter("cluster.device_lost").inc()
+        with trace.span("recover", category="cluster",
+                        action="quarantine", kernel=kernel_name,
+                        device=device.label, chunk=slot):
+            pass
+        requeued = [slot]
+        # earlier chunks whose only valid copy sat on the dead device
+        # are lost with it: roll their parts back to the (pre-launch)
+        # host data and re-run them on a survivor
+        for done_slot in sorted(slot_result):
+            if slot_result[done_slot][0] is not device:
+                continue
+            stranded = False
+            for a in dist_args:
+                if _reclaim_part(new_parts[id(a)][done_slot], {device}):
+                    stranded = True
+            if stranded:
+                slot_result.pop(done_slot)
+                requeued.append(done_slot)
+        items = sum(bounds[s][1] - bounds[s][0] for s in requeued)
+        summary.requeued_items += items
+        registry.counter("cluster.requeued_items").inc(items)
+        with trace.span("recover", category="cluster", action="requeue",
+                        kernel=kernel_name, items=items,
+                        chunks=len(requeued), survivors=len(active)):
+            for a in dist_args:
+                _reclaim_part(new_parts[id(a)][slot], {device})
+            requeue.extend(requeued)
     for a in dist_args:
         a.bounds = bounds
         a.parts = new_parts[id(a)]
-    return launches
+    return [slot_result[s] for s in range(len(bounds))]
 
 
 def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
-                 schedule=None):
+                 schedule=None, max_retries: int = 3,
+                 backoff: float = 1e-4):
     """Evaluate ``kernel`` once per partition, owner-computes style.
 
     ``kernel`` is an ordinary HPL kernel function whose **last two
@@ -697,8 +1087,17 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
     ``deferred=False`` runs eagerly; the numerical results are
     identical either way.
 
-    Returns the list of per-partition :class:`EvalResult` objects (all
-    complete by return), in dispatch order.
+    ``max_retries`` and ``backoff`` tune failure recovery (see
+    ``docs/faults.md``): transient failures are retried up to
+    ``max_retries`` times per block with capped-exponential backoff on
+    the simulated clock; a permanently failed device is quarantined
+    from the cluster and its blocks re-run on the survivors.  When no
+    device survives, :class:`~repro.errors.ClusterExecutionError` is
+    raised.
+
+    Returns a :class:`ClusterResult` — a list of the per-partition
+    :class:`EvalResult` objects (all complete by return), in partition
+    order, with the recovery record on ``.failures``.
     """
     dist_args = [a for a in args if isinstance(a, DistributedArray)]
     if not dist_args:
@@ -709,8 +1108,14 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
             raise HPLError("all DistributedArrays must share the same "
                            "size and cluster")
     kernel_name = getattr(kernel, "__name__", repr(kernel))
+    summary = FailureSummary()
 
     scheduler = get_scheduler(schedule)
+    if scheduler is None \
+            and len(dist_args[0].bounds) != len(cluster.devices):
+        # the current layout (e.g. left over from a recovered run) no
+        # longer maps one block per device: re-plan instead of guessing
+        scheduler = get_scheduler("uniform")
     dynamic = scheduler is not None and scheduler.dynamic
     if scheduler is not None and not dynamic:
         with trace.span("cluster_schedule", category="cluster",
@@ -719,8 +1124,8 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
             partitions = scheduler.plan(n, cluster,
                                         kernel_name=kernel_name)
             bounds = [(p.lo, p.hi) for p in partitions]
-            for a in dist_args:
-                a.repartition(bounds)
+            _repartition_with_retries(dist_args, bounds, max_retries,
+                                      backoff, summary)
     elif not dynamic:
         for a in dist_args:
             if a.bounds != dist_args[0].bounds:
@@ -731,7 +1136,9 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
         partitions = [Partition(lo, hi, rank) for rank, (lo, hi)
                       in enumerate(dist_args[0].bounds)]
 
-    devices = cluster.devices
+    # snapshot: quarantine mutates cluster.devices mid-run, and the
+    # deferred flag must be restored on lost devices too
+    devices = list(cluster.devices)
     previous = [d.deferred for d in devices]
     if deferred:
         for d in devices:
@@ -742,15 +1149,18 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
                             policy=scheduler.name, kernel=kernel_name,
                             n=n, devices=len(cluster)):
                 launches = _run_dynamic(kernel, cluster, args, dist_args,
-                                        scheduler, kernel_name)
+                                        scheduler, kernel_name,
+                                        max_retries, backoff, summary)
         else:
             launches = _run_static(kernel, cluster, args, dist_args,
-                                   partitions, kernel_name)
+                                   partitions, kernel_name, max_retries,
+                                   backoff, summary)
     finally:
         for device, was_deferred in zip(devices, previous):
             device.set_deferred(was_deferred)
     _record_calibration(kernel_name, launches)
-    return [result for _device, _partition, result in launches]
+    return ClusterResult(
+        [result for _device, _partition, result in launches], summary)
 
 
 # -- timeline measurement -------------------------------------------------------

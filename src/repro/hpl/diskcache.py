@@ -106,16 +106,39 @@ class KernelDiskCache:
 
     @contextlib.contextmanager
     def _locked(self):
-        """Cross-process exclusive lock over mutations of the store."""
+        """Cross-process exclusive lock over mutations of the store.
+
+        After acquiring the flock the lock file's identity is
+        re-checked: if another process unlinked and recreated ``.lock``
+        while we blocked, our lock lives on an orphaned inode and
+        excludes nobody — so close and take the lock again on the
+        current file.  (``purge`` never removes ``.lock`` precisely to
+        keep this loop from spinning, but a foreign ``rm`` must not
+        silently void mutual exclusion either.)
+        """
         if fcntl is None:               # pragma: no cover - non-POSIX
             yield
             return
-        with open(self.path / ".lock", "a+b") as fh:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        lock_path = self.path / ".lock"
+        while True:
+            fh = open(lock_path, "a+b")
             try:
-                yield
+                fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+                try:
+                    current = os.stat(lock_path)
+                except OSError:         # unlinked while we blocked
+                    continue
+                held = os.fstat(fh.fileno())
+                if (current.st_dev, current.st_ino) \
+                        != (held.st_dev, held.st_ino):
+                    continue            # recreated: lock the new file
+                try:
+                    yield
+                finally:
+                    fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                return
             finally:
-                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+                fh.close()
 
     @staticmethod
     def _registry():
@@ -167,15 +190,33 @@ class KernelDiskCache:
                 self._evict_lru()
 
     def _evict_lru(self) -> None:
+        """Remove oldest entries until the store fits the cap.
+
+        Runs under :meth:`_locked`, but the mtime order was scanned in
+        this process and ``get``/``put`` mutate entries without taking
+        the lock — so every candidate is re-stat'ed immediately before
+        its unlink.  An entry whose mtime moved since the scan was hit
+        or overwritten concurrently: it is no longer the LRU victim the
+        scan chose, so it survives this round (the next ``put`` evicts
+        again if the store is still over the cap).
+        """
         entries = self.entries()
         total = sum(size for _k, size, _m in entries)
         # oldest mtime first; stop as soon as we fit under the cap
-        for key, size, _mtime in sorted(entries, key=lambda e: e[2]):
+        for key, size, mtime in sorted(entries, key=lambda e: e[2]):
             if total <= self.max_bytes:
                 return
-            with contextlib.suppress(OSError):
-                self._entry_path(key).unlink()
+            path = self._entry_path(key)
+            try:
+                st = path.stat()
+            except OSError:             # already gone: freed elsewhere
                 total -= size
+                continue
+            if st.st_mtime != mtime:    # touched/replaced since scan
+                continue
+            with contextlib.suppress(OSError):
+                path.unlink()
+                total -= st.st_size
 
     # -- inspection --------------------------------------------------------
 
@@ -192,13 +233,23 @@ class KernelDiskCache:
         return out
 
     def purge(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry; returns how many were removed.
+
+        Also sweeps stale ``.tmp`` files abandoned by killed writers.
+        The ``.lock`` file itself is never removed: a concurrent
+        :meth:`_locked` holder flocks that very inode, and unlinking it
+        would let the next locker acquire a *new* file while the old
+        holder still believes it has exclusivity.
+        """
         removed = 0
         with self._locked():
             for key, _size, _mtime in self.entries():
                 with contextlib.suppress(OSError):
                     self._entry_path(key).unlink()
                     removed += 1
+            for stale in self.path.glob(".*.tmp"):
+                with contextlib.suppress(OSError):
+                    stale.unlink()
         return removed
 
     def stats(self) -> dict:

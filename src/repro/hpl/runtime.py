@@ -187,6 +187,8 @@ class HPLDevice:
         stats = self._stats
 
         def account(ev):
+            if ev.is_failed:
+                return          # the copy never happened: nothing to bill
             stats.h2d_transfers += 1
             stats.h2d_bytes += nbytes
             stats.h2d_seconds += ev.duration
@@ -203,6 +205,8 @@ class HPLDevice:
         stats = self._stats
 
         def account(ev):
+            if ev.is_failed:
+                return          # the copy never happened: nothing to bill
             stats.d2h_transfers += 1
             stats.d2h_bytes += nbytes
             stats.d2h_seconds += ev.duration
@@ -291,10 +295,31 @@ class EvalResult:
         return all(e.is_complete for e in self.events)
 
     def wait(self) -> "EvalResult":
-        """Drive this eval's commands to completion (deferred mode)."""
+        """Drive this eval's commands to completion (deferred mode).
+
+        Raises the underlying error if any command failed; use
+        :meth:`drive` + :attr:`failed_event` to inspect instead."""
         for event in self.events:
             event.wait()
         return self
+
+    def drive(self) -> "EvalResult":
+        """Execute this eval's commands without raising on failure.
+
+        Recovery code (``cluster_eval``) drives results and inspects
+        :attr:`failed_event` so one failed partition cannot abort its
+        siblings mid-flight."""
+        for event in self.events:
+            event.drive()
+        return self
+
+    @property
+    def failed_event(self) -> "ocl.Event | None":
+        """The first abnormally terminated event, or None."""
+        for event in self.events:
+            if event.is_failed:
+                return event
+        return None
 
     @property
     def kernel_seconds(self) -> float:

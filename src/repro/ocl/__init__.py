@@ -22,6 +22,7 @@ from .device import Device
 from .devicedb import (DEFAULT_DEVICES, QUADRO_FX380, TESLA_C2050,
                        XEON_HOST, XEON_SERIAL, DeviceSpec, spec_by_name)
 from .event import Event, wait_for_events
+from .faults import FaultPlan, FaultSpec
 from .kernel_obj import Kernel
 from .platform import (Platform, get_platforms, reset_platform_devices,
                        set_platform_devices)
@@ -31,7 +32,7 @@ from .queue import CommandQueue
 __all__ = [
     "get_platforms", "Platform", "Device", "Context", "CommandQueue",
     "Buffer", "LocalMemory", "Program", "Kernel", "Event",
-    "wait_for_events",
+    "wait_for_events", "FaultPlan", "FaultSpec",
     "mem_flags", "device_type", "command_type", "command_status",
     "queue_properties",
     "CLK_LOCAL_MEM_FENCE", "CLK_GLOBAL_MEM_FENCE",

@@ -42,12 +42,21 @@ class command_status(IntEnum):
     Mirrors ``CL_QUEUED``/``CL_SUBMITTED``/``CL_RUNNING``/``CL_COMPLETE``
     (3/2/1/0) so comparisons like ``status <= command_status.RUNNING``
     mean "at least running", exactly as with the real constants.
+
+    As in OpenCL, an *abnormally terminated* command reports a negative
+    ``cl_int`` error code instead of ``COMPLETE``; events whose commands
+    failed (or whose dependencies failed — errors propagate through
+    ``wait_for=`` chains) carry one of the negative members below.
     """
 
     COMPLETE = 0
     RUNNING = 1
     SUBMITTED = 2
     QUEUED = 3
+    #: the command's device died (``CL_DEVICE_NOT_AVAILABLE``)
+    DEVICE_NOT_AVAILABLE = -2
+    #: transient resource exhaustion (``CL_OUT_OF_RESOURCES``)
+    OUT_OF_RESOURCES = -5
 
 
 class queue_properties(IntFlag):

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..errors import ProfilingDisabledError, ProfilingInfoNotAvailable
+from ..errors import (CLError, ProfilingDisabledError,
+                      ProfilingInfoNotAvailable)
 from .api import command_status, command_type
 from .costmodel import CostCounters, TimeBreakdown
 
@@ -18,6 +19,12 @@ class Event:
     command ran inside the enqueue call); on a deferred queue the event
     stays QUEUED until the queue flushes, the event is waited on, or a
     dependent command needs it.
+
+    A command that fails — through fault injection or a failed
+    dependency — terminates abnormally: its event's status becomes a
+    *negative* error code (see :class:`command_status`), :attr:`error`
+    holds the exception, :meth:`wait` raises it, and callbacks fire
+    with the failed event, exactly as ``clSetEventCallback`` promises.
 
     Times are in nanoseconds on the device's simulated timeline, mirroring
     ``clGetEventProfilingInfo``.  Kernel events additionally expose the
@@ -35,6 +42,9 @@ class Event:
     status: command_status = command_status.COMPLETE
     #: events this command waited on (its incoming DAG edges)
     wait_list: tuple = ()
+    #: the exception behind a negative status, if the command failed
+    error: BaseException | None = field(default=None, repr=False,
+                                        compare=False)
     _profiling_enabled: bool = field(default=True, repr=False)
     #: name of the device whose queue produced this event (diagnostics)
     device_name: str = field(default="", repr=False)
@@ -55,6 +65,11 @@ class Event:
                 f"profiling info requested for a "
                 f"{self.command.name} event, but {where} was created "
                 f"with profiling=False")
+        if self.is_failed:
+            raise ProfilingInfoNotAvailable(
+                f"{self.command.name} event failed with "
+                f"{self.status.name}; no profiling info exists for an "
+                f"abnormally terminated command")
         if self.status is not command_status.COMPLETE:
             raise ProfilingInfoNotAvailable(
                 f"{self.command.name} event is {self.status.name}, not "
@@ -64,6 +79,11 @@ class Event:
     @property
     def is_complete(self) -> bool:
         return self.status is command_status.COMPLETE
+
+    @property
+    def is_failed(self) -> bool:
+        """True when the command terminated abnormally (negative status)."""
+        return int(self.status) < 0
 
     @property
     def profile_start(self) -> int:
@@ -88,39 +108,72 @@ class Event:
     # -- completion ---------------------------------------------------------
 
     def add_callback(self, fn) -> "Event":
-        """Call ``fn(event)`` when the event completes.
+        """Call ``fn(event)`` when the event reaches a terminal state.
 
-        Mirrors ``clSetEventCallback(CL_COMPLETE)``; if the event has
-        already completed the callback fires immediately.
+        Mirrors ``clSetEventCallback(CL_COMPLETE)``: the callback fires
+        on successful completion *and* on abnormal termination (check
+        ``event.is_failed``); if the event is already terminal it fires
+        immediately.
         """
-        if self.status is command_status.COMPLETE:
+        if self.status is command_status.COMPLETE or self.is_failed:
             fn(self)
         else:
             self._callbacks.append(fn)
         return self
 
-    def _complete(self) -> None:
-        """Transition to COMPLETE and fire callbacks (queue-internal)."""
-        self.status = command_status.COMPLETE
+    def _fire_callbacks(self) -> None:
         self._queue = None
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
             fn(self)
 
-    def wait(self) -> "Event":
-        """Block until the command has executed.
+    def _complete(self) -> None:
+        """Transition to COMPLETE and fire callbacks (queue-internal)."""
+        self.status = command_status.COMPLETE
+        self._fire_callbacks()
 
-        On an eager queue commands run inside enqueue, so this is a
-        no-op; on a deferred queue it executes this command and every
-        command it transitively depends on (across queues).
+    def _fail(self, status: command_status,
+              error: BaseException) -> None:
+        """Terminate abnormally and fire callbacks (queue-internal)."""
+        self.status = status
+        self.error = error
+        self._fire_callbacks()
+
+    def drive(self) -> "Event":
+        """Execute the command without raising on failure.
+
+        Like :meth:`wait`, but an abnormally terminated command is
+        reported through :attr:`status`/:attr:`error` instead of an
+        exception — the primitive recovery code builds on.
         """
-        if self.status is not command_status.COMPLETE \
+        if self.status is command_status.QUEUED \
                 and self._queue is not None:
             self._queue._execute_until(self)
         return self
 
+    def wait(self) -> "Event":
+        """Block until the command has executed; raise if it failed.
+
+        On an eager queue commands run inside enqueue, so this only
+        checks for failure; on a deferred queue it executes this
+        command and every command it transitively depends on (across
+        queues) first.
+        """
+        self.drive()
+        if self.is_failed:
+            raise self.error if self.error is not None else CLError(
+                f"{self.command.name} failed with {self.status.name}")
+        return self
+
 
 def wait_for_events(events) -> None:
-    """``clWaitForEvents``: drive every listed event to completion."""
+    """``clWaitForEvents``: drive every listed event to completion.
+
+    Raises the first failure found (after driving everything, so no
+    work is left stranded behind the raising event).
+    """
+    events = list(events)
+    for event in events:
+        event.drive()
     for event in events:
         event.wait()

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from .. import trace
 from ..clc import compile_source, preprocess
 from ..clc.ir import ProgramIR
 from ..errors import (BuildProgramFailure, CompileError, InvalidDevice,
                       InvalidValue)
 from .context import Context
+from .faults import active_plan
 from .kernel_obj import Kernel
 
 
@@ -69,6 +71,23 @@ class Program:
             if dev not in self.context.devices:
                 raise InvalidDevice(
                     f"{dev.name} is not part of the program's context")
+
+        plan = active_plan()
+        if plan is not None:
+            for dev in devices:
+                error = plan.draw_build(dev.label)
+                if error is not None:
+                    # an injected build failure leaves the program
+                    # unbuilt for the device, like any real one
+                    self._built_devices.discard(dev)
+                    self.build_logs[dev.name] = f"fault injected: {error}"
+                    with trace.span("fault_inject", category="fault",
+                                    device=dev.label, op="build",
+                                    error=type(error).__name__):
+                        pass
+                    trace.get_registry().counter(
+                        "simcl.faults_injected").inc()
+                    raise error
 
         ir = self._compile(options, devices)
 

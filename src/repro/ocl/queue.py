@@ -47,6 +47,7 @@ from .context import Context
 from .costmodel import kernel_time, transfer_time
 from .device import Device
 from .event import Event
+from .faults import active_plan, op_name
 from .kernel_obj import Kernel
 
 
@@ -108,9 +109,10 @@ class CommandQueue:
         deps = self._dep_list(wait_for)
         if not self.deferred:
             # eager: dependencies may still be pending on a deferred
-            # queue — drive them to completion, then run right away
+            # queue — drive them to a terminal state (failures
+            # propagate onto this event in _execute), then run
             for dep in deps:
-                dep.wait()
+                dep.drive()
             event = Event(command=command,
                           status=command_status.QUEUED, wait_list=deps,
                           _profiling_enabled=self.profiling,
@@ -133,12 +135,41 @@ class CommandQueue:
 
     def _execute(self, event: Event, payload, attrs: dict,
                  trace_parent: int | None) -> None:
-        """Run one command's payload and stamp its simulated interval."""
+        """Run one command's payload and stamp its simulated interval.
+
+        A command whose dependency failed does not run at all — its
+        event inherits the dependency's error status, mirroring how an
+        OpenCL runtime abandons commands downstream of an aborted one.
+        Before the payload runs the active :class:`FaultPlan` (if any)
+        may fail the command outright or stretch its duration.
+        """
         event.status = command_status.SUBMITTED
+        failed_dep = next(
+            (d for d in event.wait_list if d.is_failed), None)
+        if failed_dep is not None:
+            event._fail(failed_dep.status, failed_dep.error)
+            return
         dep_end = max((d.end_ns for d in event.wait_list), default=0)
         start = max(self.clock, dep_end * 1e-9)
+        plan = active_plan()
+        op = op_name(event.command)
+        if plan is not None:
+            injection = plan.draw(self.device.label, op, start)
+            if injection is not None:
+                start_ns = int(start * 1e9)
+                trace.device_event(
+                    self.device.label, "fault_inject", start_ns,
+                    start_ns, category="fault", parent_id=trace_parent,
+                    op=op, code=int(injection.status),
+                    fault_kind=injection.kind)
+                trace.get_registry().counter(
+                    "simcl.faults_injected").inc()
+                event._fail(injection.status, injection.error)
+                return
         event.status = command_status.RUNNING
         duration, counters, breakdown, extra = payload()
+        if plan is not None:
+            duration *= plan.slow_factor(self.device.label, op)
         self.clock = start + duration
         start_ns = int(start * 1e9)
         end_ns = int(self.clock * 1e9)
@@ -162,7 +193,7 @@ class CommandQueue:
     def _run_deferred(self, cmd: _Command) -> None:
         for dep in cmd.event.wait_list:
             if not dep.is_complete:
-                dep.wait()      # may recurse into this or another queue
+                dep.drive()     # may recurse into this or another queue
         if cmd not in self._pending:    # a recursive wait already ran it
             return
         self._pending.remove(cmd)
@@ -194,8 +225,9 @@ class CommandQueue:
         return best if best is not None else self._pending[0]
 
     def _execute_until(self, event: Event) -> None:
-        """Drive pending commands until ``event`` completes."""
-        while event.status is not command_status.COMPLETE:
+        """Drive pending commands until ``event`` is terminal
+        (COMPLETE or failed with a negative status)."""
+        while event.status is command_status.QUEUED:
             if self.out_of_order:
                 cmd = self._command_of(event)
                 if cmd is None:     # completed by a recursive wait

@@ -197,9 +197,9 @@ class TestCalibrationFeedback:
         args, _out = _ep_problem(c, rng, 3000)
         cluster_eval(ep_part, c, *args)
         for d in c.devices:
-            tput = calibration().throughput("ep_part", d.name)
+            tput = calibration().throughput("ep_part", d.label)
             assert tput is not None and tput > 0
-            assert calibration().samples("ep_part", d.name) == 1
+            assert calibration().samples("ep_part", d.label) == 1
 
     def test_weighted_uses_history_once_complete(self, rng):
         c = Cluster(hpl.get_devices())
@@ -210,7 +210,7 @@ class TestCalibrationFeedback:
         cluster_eval(ep_part, c, *args)
         weights, source = sched.weights_for(c, "ep_part")
         assert source == "calibrated"
-        assert weights == [calibration().throughput("ep_part", d.name)
+        assert weights == [calibration().throughput("ep_part", d.label)
                            for d in c.devices]
         # opting out of calibration returns to spec estimates
         _w, source = WeightedScheduler(calibrate=False).weights_for(

@@ -360,3 +360,104 @@ class TestCLI:
             assert cache.path == tmp_path
         finally:
             diskcache._active, diskcache._configured = saved
+
+
+# -- lock lifecycle -----------------------------------------------------------
+
+class TestLockLifecycle:
+    def test_purge_keeps_lock_file(self, tmp_path):
+        cache = KernelDiskCache(tmp_path)
+        cache.put(cache.key_of(SOURCE), compile_source(SOURCE))
+        with cache._locked():
+            pass                        # materializes .lock
+        assert (tmp_path / ".lock").exists()
+        assert cache.purge() == 1
+        # the flock target must survive: a concurrent _locked() holder
+        # has this very inode locked, and replacing it would let two
+        # processes hold "the" lock at once
+        assert (tmp_path / ".lock").exists()
+        assert cache.entries() == []
+
+    def test_purge_sweeps_stale_tmp_files(self, tmp_path):
+        cache = KernelDiskCache(tmp_path)
+        stale = tmp_path / ".deadbeef.1234.5678.tmp"
+        stale.write_bytes(b"abandoned by a killed writer")
+        cache.purge()
+        assert not stale.exists()
+
+    def test_locked_reacquires_after_foreign_unlink(self, tmp_path,
+                                                    monkeypatch):
+        # a foreign `rm .lock` + recreate while we block on flock must
+        # not void mutual exclusion: we would hold an orphaned inode
+        # while the next locker flocks the new file.  Provoke exactly
+        # that window and check _locked() retries onto the new file.
+        from repro.hpl import diskcache
+
+        cache = KernelDiskCache(tmp_path)
+        lock = tmp_path / ".lock"
+        real_flock = diskcache.fcntl.flock
+        raced = {"n": 0}
+
+        def racy_flock(fd, op):
+            if op == diskcache.fcntl.LOCK_EX and raced["n"] == 0:
+                raced["n"] += 1
+                # our fd keeps the old inode alive, so the recreated
+                # file is guaranteed to be a different inode
+                lock.unlink()
+                lock.write_bytes(b"")
+            return real_flock(fd, op)
+
+        monkeypatch.setattr(diskcache.fcntl, "flock", racy_flock)
+        entered = False
+        with cache._locked():
+            entered = True
+        assert entered and raced["n"] == 1
+        assert lock.exists()
+
+    def test_eviction_skips_entry_touched_after_scan(self, tmp_path,
+                                                     monkeypatch):
+        # a same-key store that lands between the eviction scan and the
+        # unlink refreshes the entry's mtime; eviction must re-stat and
+        # leave the fresh entry alone
+        cache = KernelDiskCache(tmp_path, max_bytes=1)
+        key = cache.key_of(SOURCE)
+        blob_path = tmp_path / (key + ".irbin")
+        cache.put(key, compile_source(SOURCE))   # evicts itself (cap=1B)
+        assert not blob_path.exists()
+
+        program = compile_source(SOURCE)
+        blob_path.write_bytes(program.to_bytes())
+        os.utime(blob_path, (1.0, 1.0))
+
+        real_entries = cache.entries
+
+        def entries_then_touch():
+            scanned = real_entries()
+            # concurrent writer replaces the entry before the unlink
+            os.utime(blob_path, (2.0, 2.0))
+            return scanned
+
+        monkeypatch.setattr(cache, "entries", entries_then_touch)
+        with cache._locked():
+            cache._evict_lru()
+        assert blob_path.exists()       # re-stat saw the newer mtime
+
+    def test_eviction_tolerates_entry_removed_after_scan(self, tmp_path,
+                                                         monkeypatch):
+        cache = KernelDiskCache(tmp_path, max_bytes=1)
+        key = cache.key_of(SOURCE)
+        blob_path = tmp_path / (key + ".irbin")
+        program = compile_source(SOURCE)
+        blob_path.write_bytes(program.to_bytes())
+
+        real_entries = cache.entries
+
+        def entries_then_remove():
+            scanned = real_entries()
+            blob_path.unlink()          # concurrent purge got it first
+            return scanned
+
+        monkeypatch.setattr(cache, "entries", entries_then_remove)
+        with cache._locked():
+            cache._evict_lru()          # must not raise
+        assert real_entries() == []

@@ -255,3 +255,113 @@ class TestCopyBufferMetrics:
             == before_n + 1
         assert registry.counter("simcl.d2d_bytes").value \
             == before_b + 64
+
+
+class TestCrossQueueMixedModes:
+    """wait_for= across one deferred and one immediate queue."""
+
+    def _two_queues(self):
+        device = cl.Device(TESLA_C2050, "serial")
+        host = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([device, host])
+        dq = cl.CommandQueue(ctx, device, deferred=True)
+        eq = cl.CommandQueue(ctx, host)
+        return ctx, dq, eq
+
+    def test_immediate_enqueue_drives_deferred_dependency(self):
+        # an eager command depending on a queued deferred event must
+        # execute that dependency first, then start no earlier than it
+        ctx, dq, eq = self._two_queues()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        dep = dq.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        assert dep.status is command_status.QUEUED
+        out = np.zeros(4, np.float32)
+        ev = eq.enqueue_read_buffer(buf, out, wait_for=[dep])
+        assert dep.status is command_status.COMPLETE
+        assert ev.status is command_status.COMPLETE
+        assert np.array_equal(out, np.ones(4, np.float32))
+        assert ev.start_ns >= dep.end_ns
+
+    def test_deferred_command_waits_for_immediate_event(self):
+        # the immediate event is already complete when the deferred
+        # queue flushes; the deferred command starts after its end
+        ctx, dq, eq = self._two_queues()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        dep = eq.enqueue_write_buffer(buf, np.full(4, 3.0, np.float32))
+        assert dep.status is command_status.COMPLETE
+        out = np.zeros(4, np.float32)
+        ev = dq.enqueue_read_buffer(buf, out, wait_for=[dep])
+        assert ev.status is command_status.QUEUED
+        ev.wait()
+        assert np.array_equal(out, np.full(4, 3.0, np.float32))
+        assert ev.start_ns >= dep.end_ns
+
+    def test_chain_alternating_queues_preserves_order(self):
+        ctx, dq, eq = self._two_queues()
+        a = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        b = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        w = dq.enqueue_write_buffer(a, np.ones(4, np.float32))
+        c = eq.enqueue_copy_buffer(a, b, wait_for=[w])
+        out = np.zeros(4, np.float32)
+        r = dq.enqueue_read_buffer(b, out, wait_for=[c])
+        r.wait()
+        assert np.array_equal(out, np.ones(4, np.float32))
+        assert w.end_ns <= c.start_ns and c.end_ns <= r.start_ns
+
+
+class TestErrorPropagationThroughMarkers:
+    def _failing_queue(self, plan):
+        cl.faults.configure(plan)
+        device = cl.Device(TESLA_C2050, "serial")
+        ctx = cl.Context([device])
+        queue = cl.CommandQueue(ctx, device, deferred=True)
+        return ctx, queue
+
+    def teardown_method(self):
+        cl.faults.configure(None)
+
+    def test_marker_propagates_dependency_failure(self):
+        from repro.errors import OutOfResources
+
+        ctx, queue = self._failing_queue(
+            "device=* kind=transient op=write nth=1")
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        w = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        marker = queue.enqueue_marker()
+        out = np.zeros(4, np.float32)
+        r = queue.enqueue_read_buffer(buf, out, wait_for=[marker])
+        r.drive()
+        # the write's failure flows through the marker to the read
+        assert w.status is command_status.OUT_OF_RESOURCES
+        assert marker.status is command_status.OUT_OF_RESOURCES
+        assert r.status is command_status.OUT_OF_RESOURCES
+        assert r.is_failed and not r.is_complete
+        with pytest.raises(OutOfResources):
+            marker.wait()
+        assert np.array_equal(out, np.zeros(4, np.float32))
+
+    def test_marker_failure_does_not_strand_siblings(self):
+        ctx, queue = self._failing_queue(
+            "device=* kind=transient op=write nth=1")
+        good = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        bad = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        wb = queue.enqueue_write_buffer(bad, np.ones(4, np.float32))
+        wg = queue.enqueue_write_buffer(good, np.ones(4, np.float32))
+        marker = queue.enqueue_marker(wait_for=[wb, wg])
+        marker.drive()
+        assert wb.is_failed and wg.is_complete
+        assert marker.is_failed
+
+    def test_wait_for_events_raises_but_drives_all(self):
+        from repro.errors import OutOfResources
+
+        ctx, queue = self._failing_queue(
+            "device=* kind=transient op=write nth=1")
+        b1 = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        b2 = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        e1 = queue.enqueue_write_buffer(b1, np.ones(4, np.float32))
+        e2 = queue.enqueue_write_buffer(b2, np.ones(4, np.float32))
+        with pytest.raises(OutOfResources):
+            cl.wait_for_events([e1, e2])
+        # the healthy sibling was still driven to completion
+        assert e1.is_failed and e2.is_complete

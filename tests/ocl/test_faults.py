@@ -1,0 +1,241 @@
+"""Fault injection: plan grammar, determinism, event error statuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.ocl as cl
+from repro.errors import DeviceLost, DeviceNotAvailable, FaultPlanError, \
+    OutOfResources
+from repro.ocl import TESLA_C2050, XEON_HOST, command_status
+from repro.ocl.faults import FaultPlan, active_plan, configure, op_name
+
+SRC = """
+__kernel void twice(__global float* a) {
+    int i = get_global_id(0);
+    a[i] = 2.0f * a[i];
+}
+"""
+
+
+@pytest.fixture(autouse=True)
+def _no_plan_leaks():
+    configure(None)
+    yield
+    configure(None)
+
+
+def _setup(deferred=False):
+    device = cl.Device(TESLA_C2050, "serial")
+    ctx = cl.Context([device])
+    queue = cl.CommandQueue(ctx, device, deferred=deferred)
+    return device, ctx, queue
+
+
+class TestGrammar:
+    def test_parse_full_clause(self):
+        plan = FaultPlan.parse(
+            "device=Tesla kind=transient op=kernel nth=2 count=3 "
+            "code=lost; device=* kind=slow factor=4; seed=9")
+        assert len(plan.specs) == 2
+        t, s = plan.specs
+        assert (t.device, t.kind, t.op, t.nth, t.count, t.code) \
+            == ("Tesla", "transient", "kernel", 2, 3, "lost")
+        assert (s.kind, s.factor) == ("slow", 4.0)
+        assert plan.seed == 9
+
+    def test_empty_plan_means_no_faults(self):
+        plan = FaultPlan.parse("")
+        assert list(plan.specs) == []
+        assert plan.draw("anything", "kernel", 0.0) is None
+
+    @pytest.mark.parametrize("text", [
+        "device=X",                             # no kind
+        "kind=lost",                            # no device
+        "device=X kind=wat",                    # unknown kind
+        "device=X kind=transient op=warp",      # unknown op
+        "device=X kind=transient nth=0",        # nth is 1-based
+        "device=X kind=transient nth=1 prob=0.5",   # nth xor prob
+        "device=X kind=transient prob=1.5",     # prob out of range
+        "device=X kind=transient nth=1 count=0",
+        "device=X kind=slow factor=0.5",        # slowdowns only
+        "device=X kind=lost at=banana",         # bad number
+        "device=X kind=lost lost",              # bare token
+        "device=X kind=lost device=Y",          # duplicate key
+        "device=X kind=lost nonsense=1",        # unknown key
+    ])
+    def test_bad_clause_raises(self, text):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse(text)
+
+    def test_device_matching_is_substring_case_insensitive(self):
+        spec = FaultPlan.parse("device=380#1 kind=lost").specs[0]
+        assert spec.matches_device("SimCL Quadro FX 380#1")
+        assert not spec.matches_device("SimCL Quadro FX 380#2")
+        star = FaultPlan.parse("device=* kind=lost").specs[0]
+        assert star.matches_device("anything at all")
+
+    def test_op_name_mapping(self):
+        from repro.ocl.api import command_type
+
+        assert op_name(command_type.NDRANGE_KERNEL) == "kernel"
+        assert op_name(command_type.READ_BUFFER) == "read"
+        assert op_name(command_type.MARKER) == "marker"
+
+
+class TestDeterminism:
+    def test_nth_and_count_select_exact_victims(self):
+        plan = FaultPlan.parse(
+            "device=* kind=transient op=kernel nth=2 count=2")
+        outcomes = [plan.draw("dev#0", "kernel", 0.0) is not None
+                    for _ in range(5)]
+        assert outcomes == [False, True, True, False, False]
+
+    def test_reset_restores_the_schedule(self):
+        plan = FaultPlan.parse("device=* kind=transient op=read nth=1")
+        assert plan.draw("d#0", "read", 0.0) is not None
+        assert plan.draw("d#0", "read", 0.0) is None
+        plan.reset()
+        assert plan.draw("d#0", "read", 0.0) is not None
+
+    def test_prob_draws_are_seed_deterministic(self):
+        def draws(seed):
+            plan = FaultPlan.parse(
+                f"device=* kind=transient prob=0.5; seed={seed}")
+            return [plan.draw("d#0", "kernel", 0.0) is not None
+                    for _ in range(32)]
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)     # astronomically unlikely to tie
+
+    def test_lost_onset_respects_simulated_time(self):
+        plan = FaultPlan.parse("device=* kind=lost at=1.0")
+        assert plan.draw("d#0", "kernel", 0.5) is None
+        hit = plan.draw("d#0", "kernel", 1.5)
+        assert hit is not None and isinstance(hit.error, DeviceLost)
+        # once lost, always lost — even for earlier timestamps
+        assert plan.draw("d#0", "kernel", 0.0) is not None
+        assert plan.is_lost("d#0")
+
+    def test_slow_factor_multiplies_matching_ops(self):
+        plan = FaultPlan.parse("device=quadro kind=slow factor=4; "
+                               "device=quadro kind=slow factor=2 op=read")
+        assert plan.slow_factor("Quadro#1", "kernel") == 4.0
+        assert plan.slow_factor("Quadro#1", "read") == 8.0
+        assert plan.slow_factor("Tesla#0", "read") == 1.0
+
+
+class TestQueueInjection:
+    def test_transient_failure_sets_status_and_raises_on_wait(self):
+        configure("device=* kind=transient op=write nth=1")
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        ev = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        assert ev.status is command_status.OUT_OF_RESOURCES
+        assert ev.is_failed and not ev.is_complete
+        assert isinstance(ev.error, OutOfResources)
+        with pytest.raises(OutOfResources):
+            ev.wait()
+        # the very next attempt succeeds: the hiccup was transient
+        ev2 = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        assert ev2.is_complete
+
+    def test_lost_device_fails_every_command(self):
+        configure("device=* kind=lost at=0")
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        for _ in range(3):
+            ev = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+            assert ev.status is command_status.DEVICE_NOT_AVAILABLE
+            with pytest.raises(DeviceNotAvailable):
+                ev.wait()
+
+    def test_failed_dependency_skips_payload(self):
+        configure("device=* kind=transient op=write nth=1")
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        w = queue.enqueue_write_buffer(buf, np.full(4, 7.0, np.float32))
+        out = np.full(4, -1.0, np.float32)
+        r = queue.enqueue_read_buffer(buf, out, wait_for=[w])
+        r.drive()
+        assert w.is_failed and r.is_failed
+        # the read never ran: host memory is untouched
+        assert np.array_equal(out, np.full(4, -1.0, np.float32))
+
+    def test_callbacks_fire_with_failed_status(self):
+        configure("device=* kind=transient op=write nth=1")
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        ev = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        seen = []
+        ev.add_callback(seen.append)
+        ev.drive()
+        assert seen == [ev]
+        # late registration on a terminal event fires immediately
+        late = []
+        ev.add_callback(late.append)
+        assert late == [ev]
+
+    def test_straggler_multiplies_duration_only(self):
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=1 << 16)
+        data = np.ones(1 << 14, np.float32)
+        base = queue.enqueue_write_buffer(buf, data).duration
+        configure("device=* kind=slow factor=8")
+        slow = queue.enqueue_write_buffer(buf, data).duration
+        # durations are stamped in integer nanoseconds, hence the slack
+        assert slow == pytest.approx(8 * base, abs=8e-9)
+
+    def test_injection_is_observable_in_trace(self):
+        from repro import trace
+
+        configure("device=* kind=transient op=write nth=1")
+        before = trace.get_registry().counter(
+            "simcl.faults_injected").value
+        _dev, ctx, queue = _setup()
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        after = trace.get_registry().counter(
+            "simcl.faults_injected").value
+        assert after == before + 1
+
+
+class TestBuildInjection:
+    def test_transient_build_failure_then_success(self):
+        configure("device=* kind=transient op=build nth=1 code=lost")
+        device = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([device])
+        program = cl.Program(ctx, SRC)
+        with pytest.raises(DeviceLost):
+            program.build()
+        assert not program.built_for(device)
+        assert "fault injected" in program.build_logs[device.name]
+        program.build()                 # the retry goes through
+        assert program.built_for(device)
+
+
+class TestActivation:
+    def test_env_var_installs_plan(self, monkeypatch):
+        from repro.ocl import faults
+
+        monkeypatch.setenv(faults.ENV_VAR, "device=* kind=lost at=0")
+        faults._reset_for_tests()
+        try:
+            plan = active_plan()
+            assert plan is not None and plan.specs[0].kind == "lost"
+        finally:
+            faults._reset_for_tests()
+
+    def test_configure_accepts_plan_string_and_none(self):
+        configure("device=* kind=slow factor=2")
+        assert active_plan().specs[0].factor == 2.0
+        plan = FaultPlan.parse("device=* kind=lost")
+        configure(plan)
+        assert active_plan() is plan
+        configure(None)
+        assert active_plan() is None
+
+    def test_configure_rejects_garbage(self):
+        with pytest.raises(FaultPlanError):
+            configure("device=* kind=transient nth=one")
