@@ -220,6 +220,28 @@ def format_opt_pipeline(row: dict) -> str:
     return "\n".join(out)
 
 
+def format_engine_jit(row: dict) -> str:
+    """Render the vector-vs-JIT engine shoot-out."""
+    out = ["Execution engines: vector interpreter vs NumPy-codegen JIT "
+           f"(median ratio of {row['rounds']} interleaved rounds)", _rule(),
+           f"{'Benchmark':<20}{'vector s':>12}{'jit s':>12}"
+           f"{'Speedup':>10}", _rule()]
+    for name, r in row["benchmarks"].items():
+        out.append(f"{name:<20}{r['vector_seconds']:>12.4f}"
+                   f"{r['jit_seconds']:>12.4f}{r['speedup']:>9.2f}x")
+    gate = (f"{row['gate']:.1f}x" if row.get("gate") is not None
+            else "none")
+    out += [_rule(),
+            f"{'geomean speedup':<34}{row['geomean_speedup']:>11.2f}x",
+            f"{'gate':<34}{gate:>12}",
+            f"{'checksums identical':<34}"
+            f"{str(row['checksums_identical']):>12}",
+            _rule()]
+    if row.get("output"):
+        out.append(f"wrote {row['output']}")
+    return "\n".join(out)
+
+
 def format_warm_cache(row: dict) -> str:
     """Render the §V-B first-vs-later invocation comparison."""
     out = ["§V-B: kernel binary reuse (EP class " + row["class"] + ")",

@@ -581,6 +581,137 @@ def run_opt_pipeline(cache_dir=None,
     return row
 
 
+# -- engine shoot-out: vector interpreter vs codegen JIT -----------------------
+
+def _problems_engine_jit() -> dict:
+    """Loop-heavy instances of the five paper benchmarks for the
+    engine shoot-out: sizes chosen so each kernel launches many times
+    (or iterates long in-kernel loops) over moderate arrays — the
+    regime where per-instruction interpreter dispatch, the cost the
+    JIT removes, dominates the shared NumPy work.
+
+    Values are ``(problem, reps)``: each measured leg invokes the
+    benchmark ``reps`` times so the summed span time of single-launch
+    benchmarks (transpose) is large enough to measure reliably."""
+    return {
+        "EP": (ep.ep_problem("S"), 1),
+        "Floyd-Warshall": (floyd.floyd_problem(128, n_run=32), 4),
+        "Matrix transpose":
+            (transpose.transpose_problem(96, n_run=32), 64),
+        "Spmv": (spmv.spmv_problem(65536, n_run=768), 1),
+        "Reduction":
+            (reduction.reduction_problem(1 << 24, n_run=1 << 22), 1),
+    }
+
+
+def _engine_run_seconds(engine: str, module, problem, reps: int) -> tuple:
+    """One benchmark on one engine from a cold runtime; returns the
+    summed ``engine_run`` span wall-clock over ``reps`` invocations
+    (pure engine execution — excludes driver, compile and codegen
+    time) plus the output checksum and the engine names the spans
+    report."""
+    from .. import trace
+
+    from ..ocl.devicedb import DEFAULT_DEVICES
+    from ..ocl.platform import set_platform_devices
+
+    reset_runtime()
+    set_platform_devices(DEFAULT_DEVICES, engine)
+    tracer = trace.enable(fresh=True)
+    try:
+        for _ in range(reps):
+            run = module.run_hpl(problem, TESLA)
+    finally:
+        trace.disable()
+        set_platform_devices(DEFAULT_DEVICES)
+    spans = [s for s in tracer.spans() if s.name == "engine_run"]
+    wall = sum(s.duration_seconds for s in spans)
+    engines = sorted({s.attrs.get("engine") for s in spans})
+    return wall, _checksum(run.output), engines
+
+
+def run_engine_jit(rounds: int = 7, gate: float | None = 2.0,
+                   output: str | None = "BENCH_engine_jit.json") -> dict:
+    """Vector-vs-JIT engine shoot-out over the five paper benchmarks.
+
+    For each benchmark the two engines run interleaved for ``rounds``
+    rounds from a cold runtime.  Each round's legs execute back to
+    back, so ambient machine load hits both engines alike — the
+    per-benchmark speedup is therefore the *median of per-round
+    ratios* (vector wall over jit wall, summed ``engine_run`` spans),
+    which a single loaded or lucky round cannot move.  Every round
+    must produce bit-identical output checksums across the two
+    engines (the JIT is a pure execution substrate swap), and with
+    ``gate`` set the JIT must beat the vector interpreter by at least
+    that wall-clock geomean.
+
+    With ``output`` set, the row is written as JSON (the
+    ``BENCH_engine_jit.json`` trajectory artifact).
+    """
+    import json
+    import math
+
+    benchmarks = {}
+    speedups = []
+    for name, (problem, reps) in _problems_engine_jit().items():
+        module = _BENCH_MODULES[name]
+        best = {"vector": None, "jit": None}
+        checksum = None
+        ratios = []
+        for _ in range(rounds):
+            walls = {}
+            for engine in ("vector", "jit"):
+                wall, csum, engines = _engine_run_seconds(
+                    engine, module, problem, reps)
+                if engines != [engine]:
+                    raise AssertionError(
+                        f"{name}: engine_run spans report {engines}, "
+                        f"expected [{engine!r}]")
+                if checksum is None:
+                    checksum = csum
+                elif csum != checksum:
+                    raise AssertionError(
+                        f"{name}: {engine} checksum {csum} diverges "
+                        f"from {checksum}")
+                walls[engine] = wall
+                if best[engine] is None or wall < best[engine]:
+                    best[engine] = wall
+            ratios.append(walls["vector"] / walls["jit"]
+                          if walls["jit"] > 0 else float("inf"))
+        ratios.sort()
+        mid = len(ratios) // 2
+        speedup = (ratios[mid] if len(ratios) % 2
+                   else (ratios[mid - 1] + ratios[mid]) / 2)
+        speedups.append(speedup)
+        benchmarks[name] = {
+            "vector_seconds": best["vector"],
+            "jit_seconds": best["jit"],
+            "speedup": speedup,
+            "round_ratios": [round(r, 3) for r in ratios],
+            "checksum": checksum,
+        }
+    geomean = math.exp(sum(math.log(s) for s in speedups)
+                       / len(speedups)) if speedups else 0.0
+    row = {
+        "benchmarks": benchmarks,
+        "geomean_speedup": geomean,
+        "rounds": rounds,
+        "gate": gate,
+        "checksums_identical": True,    # asserted per round above
+    }
+    if gate is not None and geomean < gate:
+        raise AssertionError(
+            f"jit engine geomean speedup {geomean:.2f}x is below the "
+            f"{gate:.1f}x gate: " + json.dumps(
+                {n: round(b["speedup"], 3)
+                 for n, b in benchmarks.items()}))
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
+
+
 # -- §VII cluster extension: multi-device overlap ------------------------------
 
 def run_cluster(n: int = 1 << 14, reps: int = 4) -> dict:
@@ -876,19 +1007,24 @@ def _cli_targets() -> dict:
         "warm-cache": (run_warm_cache_disk,
                        report.format_warm_cache_disk),
         "opt-pipeline": (run_opt_pipeline, report.format_opt_pipeline),
+        "engine-jit": (run_engine_jit, report.format_engine_jit),
     }
 
 
 def _middle_end_meta() -> dict:
-    """Effective opt level plus this process's per-pass run counts and
-    accumulated pass time — attached to every ``--json`` result."""
+    """Effective opt level, default execution engine, and this
+    process's per-pass run counts and accumulated pass time — attached
+    to every ``--json`` result so benchmark numbers are attributable
+    to a backend and pipeline configuration."""
     from .. import trace
     from ..clc.passes import default_opt_level
+    from ..ocl.engines.base import default_engine
 
     counters = trace.get_registry().snapshot()["counters"]
     prefix, tprefix = "clc.pass_", "clc.pass_seconds_"
     return {
         "opt_level": default_opt_level(),
+        "engine": default_engine(),
         "pass_runs": {k[len(prefix):]: v for k, v in counters.items()
                       if k.startswith(prefix)
                       and not k.startswith(tprefix)},

@@ -91,7 +91,7 @@ _UNSET = object()
 
 
 def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
-              profile=_UNSET, faults=_UNSET):
+              profile=_UNSET, faults=_UNSET, engine=_UNSET):
     """Configure process-wide HPL runtime policy.
 
     ``cache_dir`` enables the persistent kernel cache (``None`` disables
@@ -105,6 +105,12 @@ def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
     :class:`repro.ocl.FaultPlan` or a plan string (see
     ``docs/faults.md``); ``None`` removes the active plan.  The
     ``HPL_FAULTS`` environment variable sets the initial plan.
+    ``engine`` selects the default execution backend for every device
+    that has no explicit override (``"vector"``, ``"serial"``, ``"jit"``
+    or any backend registered via
+    :func:`repro.ocl.engines.base.register_engine`); ``None`` restores
+    the ``$HPL_ENGINE``/built-in default.  Unknown names raise
+    immediately, listing the registered backends.
     Arguments that are not passed leave their aspect untouched, so
     ``hpl.configure(opt_level=1)`` does not disturb the cache setup.
 
@@ -119,6 +125,9 @@ def configure(cache_dir=_UNSET, max_bytes=None, opt_level=_UNSET,
     if opt_level is not _UNSET:
         from ..clc.passes import set_default_opt_level
         set_default_opt_level(opt_level)
+    if engine is not _UNSET:
+        from ..ocl.engines.base import set_default_engine
+        set_default_engine(engine)
     if profile is not _UNSET:
         from .. import prof
         if profile:

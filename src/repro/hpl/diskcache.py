@@ -61,10 +61,12 @@ ENV_CACHE_MAX_BYTES = "HPL_CACHE_MAX_BYTES"
 DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 
 _ENTRY_SUFFIX = ".irbin"
+_SOURCE_SUFFIX = ".jitsrc"
 
 
 def cache_key(preprocessed_source: str, options: str = "",
-              device_caps=(), opt_signature: str = "") -> str:
+              device_caps=(), opt_signature: str = "",
+              engine_signature: str = "") -> str:
     """Content-addressed key of one compile: sha256 over every input
     that can change the produced IR or its validity on a device.
 
@@ -72,12 +74,17 @@ def cache_key(preprocessed_source: str, options: str = "",
     identifies the middle-end configuration — opt level, pass-pipeline
     version and bytecode version — because entries store the
     *post-optimization* artifact (IR + bytecode), not just the
-    front-end output.
+    front-end output.  ``engine_signature`` identifies the execution
+    backends the build targets (engine names + their codegen versions,
+    see :func:`repro.ocl.program.engine_signature_of`): codegen-capable
+    backends cache generated source alongside the IR, so switching
+    engines or bumping a codegen version must miss rather than serve an
+    artifact produced for a different backend.
     """
     h = hashlib.sha256()
     for part in ("hpl-kernel-cache", __version__, str(IR_SCHEMA_VERSION),
                  options, repr(tuple(device_caps)), opt_signature,
-                 preprocessed_source):
+                 engine_signature, preprocessed_source):
         h.update(part.encode("utf-8"))
         h.update(b"\x00")
     return h.hexdigest()
@@ -94,15 +101,19 @@ class KernelDiskCache:
         self.path.mkdir(parents=True, exist_ok=True)
 
     def key_of(self, preprocessed_source: str, options: str = "",
-               device_caps=(), opt_signature: str = "") -> str:
+               device_caps=(), opt_signature: str = "",
+               engine_signature: str = "") -> str:
         """See :func:`cache_key`."""
         return cache_key(preprocessed_source, options, device_caps,
-                         opt_signature)
+                         opt_signature, engine_signature)
 
     # -- internal ----------------------------------------------------------
 
     def _entry_path(self, key: str) -> Path:
         return self.path / (key + _ENTRY_SUFFIX)
+
+    def _source_path(self, key: str) -> Path:
+        return self.path / (key + _SOURCE_SUFFIX)
 
     @contextlib.contextmanager
     def _locked(self):
@@ -189,6 +200,38 @@ class KernelDiskCache:
             with self._locked():
                 self._evict_lru()
 
+    # -- generated-source sidecars (codegen backends) ----------------------
+
+    def get_source(self, key: str) -> str | None:
+        """Cached generated source for ``key``, or None.
+
+        Sidecar entries (``<key>.jitsrc``) hold the Python module a
+        codegen backend (e.g. the ``jit`` engine) emitted for a program;
+        ``key`` is the backend's own codegen key, not an ``.irbin`` key.
+        """
+        path = self._source_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self._registry().counter("hpl.disk_cache_misses").inc()
+            return None
+        with contextlib.suppress(OSError):
+            os.utime(path)              # LRU: mark recently used
+        self._registry().counter("hpl.disk_cache_hits").inc()
+        return text
+
+    def put_source(self, key: str, text: str) -> None:
+        """Store generated source under ``key`` atomically."""
+        tmp = self.path / (
+            f".{key}.{os.getpid()}.{threading.get_ident()}.src.tmp")
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            os.replace(tmp, self._source_path(key))
+        finally:
+            with contextlib.suppress(OSError):
+                tmp.unlink()
+        self._registry().counter("hpl.disk_cache_bytes").inc(len(text))
+
     def _evict_lru(self) -> None:
         """Remove oldest entries until the store fits the cap.
 
@@ -200,13 +243,12 @@ class KernelDiskCache:
         scan chose, so it survives this round (the next ``put`` evicts
         again if the store is still over the cap).
         """
-        entries = self.entries()
-        total = sum(size for _k, size, _m in entries)
+        entries = self._all_entries()
+        total = sum(size for _p, size, _m in entries)
         # oldest mtime first; stop as soon as we fit under the cap
-        for key, size, mtime in sorted(entries, key=lambda e: e[2]):
+        for path, size, mtime in sorted(entries, key=lambda e: e[2]):
             if total <= self.max_bytes:
                 return
-            path = self._entry_path(key)
             try:
                 st = path.stat()
             except OSError:             # already gone: freed elsewhere
@@ -217,6 +259,19 @@ class KernelDiskCache:
             with contextlib.suppress(OSError):
                 path.unlink()
                 total -= st.st_size
+
+    def _all_entries(self) -> list[tuple[Path, int, float]]:
+        """``(path, size, mtime)`` of every evictable file: ``.irbin``
+        entries and ``.jitsrc`` generated-source sidecars."""
+        out = []
+        for suffix in (_ENTRY_SUFFIX, _SOURCE_SUFFIX):
+            for path in self.path.glob("*" + suffix):
+                try:
+                    st = path.stat()
+                except OSError:         # raced with an eviction
+                    continue
+                out.append((path, st.st_size, st.st_mtime))
+        return out
 
     # -- inspection --------------------------------------------------------
 
@@ -235,17 +290,22 @@ class KernelDiskCache:
     def purge(self) -> int:
         """Delete every entry; returns how many were removed.
 
-        Also sweeps stale ``.tmp`` files abandoned by killed writers.
-        The ``.lock`` file itself is never removed: a concurrent
-        :meth:`_locked` holder flocks that very inode, and unlinking it
-        would let the next locker acquire a *new* file while the old
-        holder still believes it has exclusivity.
+        Also sweeps ``.jitsrc`` generated-source sidecars and stale
+        ``.tmp`` files abandoned by killed writers.  The ``.lock`` file
+        itself is never removed: a concurrent :meth:`_locked` holder
+        flocks that very inode, and unlinking it would let the next
+        locker acquire a *new* file while the old holder still believes
+        it has exclusivity.
         """
         removed = 0
         with self._locked():
             for key, _size, _mtime in self.entries():
                 with contextlib.suppress(OSError):
                     self._entry_path(key).unlink()
+                    removed += 1
+            for source in self.path.glob("*" + _SOURCE_SUFFIX):
+                with contextlib.suppress(OSError):
+                    source.unlink()
                     removed += 1
             for stale in self.path.glob(".*.tmp"):
                 with contextlib.suppress(OSError):

@@ -555,8 +555,14 @@ class HPLRuntime:
 
     def get_compiled(self, func, args, device: HPLDevice
                      ) -> tuple[CompiledKernel, bool]:
-        """The (compiled kernel, was_cached) pair for this invocation."""
-        key = self.signature_of(func, args) + (device,)
+        """The (compiled kernel, was_cached) pair for this invocation.
+
+        The key carries the device's *resolved* engine name so switching
+        backends mid-session (``hpl.configure(engine=)``) recompiles
+        instead of reusing another backend's cached executable.
+        """
+        key = self.signature_of(func, args) + (device,
+                                               device.ocl.engine_name)
         hit = self._compiled.get(key)
         if hit is not None:
             self.stats.cache_hits += 1
@@ -617,5 +623,7 @@ def reset_runtime() -> None:
     OpenCL and HPL variants) can't silently turn ``--profile`` off.
     """
     from .. import prof
+    from ..ocl.engines import jit
     HPLRuntime.reset()
     prof.reset()
+    jit.clear_cache()

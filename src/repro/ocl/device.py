@@ -3,19 +3,20 @@
 from __future__ import annotations
 
 from .devicedb import DeviceSpec
-from .engines.serial import SerialEngine
-from .engines.vector import VectorEngine
-
-_ENGINES = {"vector": VectorEngine, "serial": SerialEngine}
+from .engines.base import default_engine, get_engine_class
 
 
 class Device:
     """One simulated compute device.
 
     Mirrors the informational surface of ``clGetDeviceInfo`` and selects
-    the execution engine used for kernels enqueued to it.  The lock-step
-    ``vector`` engine is the default; the ``serial`` reference interpreter
-    can be requested for debugging/differential testing.
+    the execution engine used for kernels enqueued to it.  Engines come
+    from the :mod:`repro.ocl.engines.base` registry; pass ``engine=`` for
+    an explicit choice, set ``engine`` on the :class:`DeviceSpec` for a
+    per-device default, or leave both unset to track the process-wide
+    default (``hpl.configure(engine=)`` / ``$HPL_ENGINE`` / ``vector``).
+    The unset case re-resolves on every launch, so reconfiguring the
+    default mid-session affects already-constructed devices.
 
     ``index`` is the device's position in the platform roster.  Two
     devices of the same model share a *name* but never an index, so
@@ -24,13 +25,24 @@ class Device:
     devices into one bucket.
     """
 
-    def __init__(self, spec: DeviceSpec, engine: str = "vector",
+    def __init__(self, spec: DeviceSpec, engine: str | None = None,
                  index: int | None = None) -> None:
-        if engine not in _ENGINES:
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine is not None:
+            get_engine_class(engine)    # unknown name -> helpful error now
         self.spec = spec
-        self.engine_name = engine
+        self._engine = engine
         self.index = index
+
+    @property
+    def engine_name(self) -> str:
+        """The resolved backend name: explicit ``Device(engine=)`` >
+        ``DeviceSpec.engine`` > process default."""
+        if self._engine is not None:
+            return self._engine
+        spec_engine = getattr(self.spec, "engine", None)
+        if spec_engine is not None:
+            return spec_engine
+        return default_engine()
 
     # -- clGetDeviceInfo-style properties -----------------------------------
 
@@ -103,7 +115,7 @@ class Device:
         return bool(self.spec.type & device_type.GPU)
 
     def make_engine(self, program):
-        return _ENGINES[self.engine_name](program, self.spec)
+        return get_engine_class(self.engine_name)(program, self.spec)
 
     def __repr__(self) -> str:
         return f"<Device {self.name!r} ({self.engine_name} engine)>"

@@ -1,6 +1,7 @@
-"""Execution engines that run compiled kernel IR.
+"""Execution backends that run compiled kernel IR.
 
-Two engines implement the same interface:
+Three engines implement the backend protocol documented in
+:mod:`repro.ocl.engines.base` and register themselves with its registry:
 
 * :class:`~repro.ocl.engines.serial.SerialEngine` — a per-work-item
   reference interpreter with generator-based barriers.  Slow, obviously
@@ -9,14 +10,26 @@ Two engines implement the same interface:
   engine that executes every work-item of the NDRange simultaneously as
   NumPy lanes, handling divergence with activity masks.  This is how the
   simulated GPUs execute real workloads at tolerable wall-clock cost.
+* :class:`~repro.ocl.engines.jit.JitEngine` — compiles each kernel's
+  optimized bytecode into generated Python/NumPy source (no interpreter
+  dispatch loop) with results, cost counters and per-line profiles
+  bit-identical to the vector engine.
 
-Both engines fill a :class:`repro.ocl.costmodel.CostCounters` while they
-run; the cost model turns those counts into simulated device time.
+Every engine fills a :class:`repro.ocl.costmodel.CostCounters` while it
+runs; the cost model turns those counts into simulated device time.
+Custom backends register via :func:`register_engine` and become
+selectable through ``Device(engine=...)``, ``hpl.configure(engine=...)``
+and ``$HPL_ENGINE`` — see ``docs/engines.md``.
 """
 
-from .base import BufferBinding, LocalBinding, NDRange, ScalarBinding
+from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
+                   available_engines, default_engine, get_engine_class,
+                   register_engine, set_default_engine)
+from .jit import JitEngine
 from .serial import SerialEngine
 from .vector import VectorEngine
 
 __all__ = ["NDRange", "ScalarBinding", "BufferBinding", "LocalBinding",
-           "SerialEngine", "VectorEngine"]
+           "SerialEngine", "VectorEngine", "JitEngine",
+           "register_engine", "get_engine_class", "available_engines",
+           "default_engine", "set_default_engine"]

@@ -1,20 +1,186 @@
-"""Shared engine infrastructure: NDRange geometry and argument bindings."""
+"""Shared engine infrastructure: the execution-backend registry, NDRange
+geometry, argument bindings, and the helpers every backend needs.
+
+An execution backend ("engine") is a class with
+
+* a ``name`` class attribute (the registry key),
+* ``__init__(self, program, spec)`` taking the compiled
+  :class:`~repro.clc.ir.ProgramIR` and a
+  :class:`~repro.ocl.devicedb.DeviceSpec`,
+* ``run(kernel_name, args, global_size, local_size=None)`` returning a
+  filled :class:`~repro.ocl.costmodel.CostCounters`,
+* a ``capabilities`` frozenset of feature flags (``"tree"``,
+  ``"bytecode"``, ``"simt"``, ``"codegen"``) and a ``codegen_version``
+  int (0 for interpreters; bumped whenever a code-generating backend
+  changes its emitted code, so cached artifacts are invalidated).
+
+Backends register themselves with :func:`register_engine` (usable as a
+decorator); :class:`~repro.ocl.device.Device` resolves names through
+:func:`get_engine_class`.  The default engine for devices constructed
+without an explicit name is resolved by :func:`default_engine`:
+``hpl.configure(engine=...)`` wins, then the ``HPL_ENGINE`` environment
+variable, then ``"vector"``.
+"""
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from ...clc.lower import BYTECODE_VERSION, linked_program
 from ...clc.types import CLType, PointerType, ScalarType
 from ...errors import (InvalidKernelArgs, InvalidWorkDimension,
                        InvalidWorkGroupSize, OutOfResources)
+
+#: environment variable naming the default execution backend
+ENV_ENGINE = "HPL_ENGINE"
+
+#: loop-iteration cap shared by every backend (infinite-loop tripwire)
+MAX_LOOP_ITERATIONS = 50_000_000
+
+#: work-item id-array keys per query kind, indexed by dimension — the
+#: dispatch tables previously duplicated by the serial and vector engines
+GLOBAL_ID_KEYS = ("idx", "idy", "idz")
+LOCAL_ID_KEYS = ("lidx", "lidy", "lidz")
+GROUP_ID_KEYS = ("gidx", "gidy", "gidz")
+
+#: atomic op name -> NumPy ufunc (``.at`` for unbuffered scatter);
+#: ``inc``/``dec`` are normalized to add/sub with an operand of 1
+ATOMIC_UFUNCS = {"add": np.add, "inc": np.add,
+                 "sub": np.subtract, "dec": np.subtract,
+                 "min": np.minimum, "max": np.maximum}
+
+
+# -- backend registry ----------------------------------------------------------------
+
+_REGISTRY: dict[str, type] = {}
+_default_override: str | None = None
+
+
+def register_engine(cls):
+    """Register an execution backend class under ``cls.name``.
+
+    Usable as a class decorator.  The class must carry a non-empty
+    ``name`` and a ``run`` method; re-registering a name replaces the
+    previous backend (latest wins), which is what lets tests install
+    instrumented engines.
+    """
+    name = getattr(cls, "name", None)
+    if not name or not isinstance(name, str):
+        raise ValueError(
+            f"engine class {cls!r} must define a string 'name' attribute")
+    if not callable(getattr(cls, "run", None)):
+        raise ValueError(f"engine {name!r} must define a run() method")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def available_engines() -> list[str]:
+    """Sorted names of every registered execution backend."""
+    return sorted(_REGISTRY)
+
+
+def get_engine_class(name: str):
+    """The backend class registered under ``name``.
+
+    Unknown names raise a ``ValueError`` that lists the registered
+    backends, so a typo'd ``Device(engine=...)`` or ``HPL_ENGINE`` is
+    immediately actionable.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine {name!r}; registered backends: "
+            + ", ".join(available_engines())) from None
+
+
+def set_default_engine(name: str | None) -> None:
+    """Set (or with ``None`` clear) the process-wide default backend.
+
+    This is what ``hpl.configure(engine=...)`` calls; it takes
+    precedence over ``$HPL_ENGINE``.  Devices constructed without an
+    explicit engine re-resolve on every launch, so switching the
+    default mid-session takes effect immediately.
+    """
+    global _default_override
+    if name is not None:
+        get_engine_class(name)          # validate eagerly
+    _default_override = name
+
+
+def default_engine() -> str:
+    """The engine name devices fall back to: the
+    ``hpl.configure(engine=...)`` override, else a validated
+    ``$HPL_ENGINE``, else ``"vector"``."""
+    if _default_override is not None:
+        return _default_override
+    env = os.environ.get(ENV_ENGINE)
+    if env:
+        get_engine_class(env)           # validate: typos must not
+        return env                      # silently fall back
+    return "vector"
+
+
+def linked_entry(program, kernel_name: str):
+    """``(linked functions dict, entry)`` for ``kernel_name`` when the
+    program ships bytecode the engines understand (O1+), else
+    ``(None, None)`` — the tree-walking fallback.  Shared by every
+    bytecode-capable backend so the version check cannot drift."""
+    pbc = getattr(program, "bytecode", None)
+    if pbc is None or getattr(pbc, "version", None) != BYTECODE_VERSION:
+        return None, None
+    linked = linked_program(pbc)
+    return linked, linked.get(kernel_name)
+
+
+def wiq_value(qcode: int, dim: int, name: str, ids, nd):
+    """Value of an ``OP_WIQ`` work-item query: lane id arrays when
+    ``ids`` holds the whole NDRange (lock-step backends), plain ints for
+    a single item (serial backend).  Callers coerce to the destination
+    dtype themselves."""
+    if qcode == 0:
+        return ids[GLOBAL_ID_KEYS[dim]]
+    if qcode == 1:
+        return ids[LOCAL_ID_KEYS[dim]]
+    if qcode == 2:
+        return ids[GROUP_ID_KEYS[dim]]
+    if qcode == 3:
+        return np.int32(nd.dim)
+    if qcode == 4:
+        return np.int64(0)
+    return np.int64(nd.size_of(name, dim))
+
+
+class Mem:
+    """A memory object visible to kernel code under a name (shared by
+    the lock-step backends; the serial engine keeps its own slim view)."""
+
+    __slots__ = ("array", "kind", "space", "name")
+
+    def __init__(self, array: np.ndarray, kind: str, space: str,
+                 name: str) -> None:
+        self.array = array
+        self.kind = kind      # buffer | local | private
+        self.space = space    # global | constant | local | private
+        self.name = name
+
+    @property
+    def size(self) -> int:
+        return self.array.shape[-1]
 
 
 def _as_tuple(size) -> tuple[int, ...]:
     if isinstance(size, int):
         return (size,)
     return tuple(int(s) for s in size)
+
+
+#: (global_size, local_size) -> read-only lane-id arrays; see lane_ids()
+_LANE_IDS_CACHE: dict = {}
 
 
 class NDRange:
@@ -50,7 +216,7 @@ class NDRange:
                 raise InvalidWorkGroupSize(
                     f"local size {lsize} does not divide global size "
                     f"{gsize}")
-        group_items = int(np.prod(lsize))
+        group_items = math.prod(lsize)
         if group_items > max_work_group_size:
             raise InvalidWorkGroupSize(
                 f"work-group of {group_items} items exceeds the device "
@@ -61,8 +227,8 @@ class NDRange:
         self.local_size = lsize
         self.num_groups = tuple(g // l for g, l in zip(gsize, lsize))
         self.items_per_group = group_items
-        self.total_items = int(np.prod(gsize))
-        self.total_groups = int(np.prod(self.num_groups))
+        self.total_items = math.prod(gsize)
+        self.total_groups = math.prod(self.num_groups)
 
     @staticmethod
     def _default_local(gsize: tuple[int, ...], cap: int,
@@ -89,7 +255,16 @@ class NDRange:
     # -- flattened id arrays (vector engine) -----------------------------------
 
     def lane_ids(self) -> dict[str, np.ndarray]:
-        """Per-lane id arrays in group-major order (see class docstring)."""
+        """Per-lane id arrays in group-major order (see class docstring).
+
+        Memoized across launches of the same NDRange shape; the arrays
+        are shared and must be treated as read-only, which every engine
+        already does (registers are never mutated in place).
+        """
+        key = (self.global_size, self.local_size)
+        hit = _LANE_IDS_CACHE.get(key)
+        if hit is not None:
+            return hit
         n = self.total_items
         lane = np.arange(n, dtype=np.int64)
         ipg = self.items_per_group
@@ -115,7 +290,12 @@ class NDRange:
             "group_flat": group,
             "lane": lane,
         }
-        return {k: v.astype(np.int64) for k, v in ids.items()}
+        ids = {k: v.astype(np.int64) for k, v in ids.items()}
+        if n <= (1 << 20):          # don't pin huge launches in memory
+            if len(_LANE_IDS_CACHE) >= 64:
+                _LANE_IDS_CACHE.clear()
+            _LANE_IDS_CACHE[key] = ids
+        return ids
 
     def item_ids(self, flat: int) -> dict[str, int]:
         """Scalar ids of one flattened work-item (serial engine)."""

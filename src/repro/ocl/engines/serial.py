@@ -19,26 +19,29 @@ import numpy as np
 from ... import prof, trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
-from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
+from ...clc.lower import (L_A, L_AUX, L_B, L_C, L_DST,
                           L_ISDBL, L_ISFLOAT, L_LINE, L_NP, L_SCOST,
                           OP_ADD, OP_ATOMIC,
-                          OP_BAND, OP_BARRIER, OP_BNOT, OP_BOR, OP_BREAK,
+                          OP_BARRIER, OP_BNOT, OP_BREAK,
                           OP_BUILTIN, OP_BXOR, OP_CALL, OP_CAST, OP_CASTF,
-                          OP_CEQ, OP_CGE, OP_CGT, OP_CLE, OP_CLT, OP_CNE,
-                          OP_CONST, OP_CONTINUE, OP_DECLARR, OP_DIV,
-                          OP_IF, OP_LAND, OP_LD, OP_LNOT, OP_LOOP,
-                          OP_LOR, OP_MOD,
-                          OP_MOV, OP_MUL, OP_NEG, OP_RET, OP_SELECT,
-                          OP_SHL, OP_SHR, OP_ST, OP_SUB, OP_WIQ,
-                          SPACE_GLOBAL, SPACE_LOCAL, linked_program)
+                          OP_CEQ,
+                          OP_CONST, OP_CONTINUE, OP_DECLARR,
+                          OP_IF, OP_LD, OP_LNOT, OP_LOOP,
+                          OP_LOR,
+                          OP_MOV, OP_NEG, OP_RET, OP_SELECT,
+                          OP_ST, OP_WIQ,
+                          SPACE_GLOBAL, SPACE_LOCAL)
 from ...clc.types import DOUBLE, SCALAR_TYPES, PointerType, ScalarType
 from ...errors import InvalidKernelArgs, KernelLaunchError, OutOfResources
 from ..costmodel import CostCounters
-from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
-                   check_args)
-from .carith import c_div, c_imod, c_shl, c_shr, to_dtype
+from .base import (ATOMIC_UFUNCS, GLOBAL_ID_KEYS, GROUP_ID_KEYS,
+                   LOCAL_ID_KEYS, MAX_LOOP_ITERATIONS, BufferBinding,
+                   LocalBinding, NDRange, ScalarBinding, check_args,
+                   linked_entry, register_engine, wiq_value)
+from .carith import (binary_value, c_div, c_imod, c_shl, c_shr,
+                     compare_value, to_dtype)
 
-_MAX_LOOP_ITERATIONS = 50_000_000
+_MAX_LOOP_ITERATIONS = MAX_LOOP_ITERATIONS
 
 
 class _BreakSignal(Exception):
@@ -78,10 +81,13 @@ class _ItemState:
         self.nd = nd
 
 
+@register_engine
 class SerialEngine:
     """Execute a kernel launch one work-item at a time (with barriers)."""
 
     name = "serial"
+    capabilities = frozenset({"tree", "bytecode"})
+    codegen_version = 0
 
     def __init__(self, program, spec) -> None:
         self.program = program
@@ -135,11 +141,8 @@ class SerialEngine:
     def _bytecode_entry(self, kernel_name: str):
         """(linked code, KernelBytecode) when the program ships bytecode
         this engine understands (O1+), else None (tree fallback)."""
-        pbc = getattr(self.program, "bytecode", None)
-        if pbc is None or getattr(pbc, "version", None) != BYTECODE_VERSION:
-            return None
-        self._linked = linked_program(pbc)
-        return self._linked.get(kernel_name)
+        self._linked, entry = linked_entry(self.program, kernel_name)
+        return entry
 
     # -- group driving -------------------------------------------------------------
 
@@ -324,15 +327,8 @@ class SerialEngine:
         val = (np.asarray(to_dtype(self._eval(stmt.value, state), dtype))
                if stmt.value is not None else dtype.type(1))
         op = stmt.op
-        old = mem.array[idx]
-        if op in ("add", "inc"):
-            mem.array[idx] = old + val
-        elif op in ("sub", "dec"):
-            mem.array[idx] = old - val
-        elif op == "min":
-            mem.array[idx] = min(old, val)
-        elif op == "max":
-            mem.array[idx] = max(old, val)
+        if op in ATOMIC_UFUNCS:
+            mem.array[idx] = ATOMIC_UFUNCS[op](mem.array[idx], val)
         itemsize = dtype.itemsize
         col = self._col
         if stmt.target.space == "local":
@@ -481,9 +477,9 @@ class SerialEngine:
                 return np.int32(self.nd.dim)
             if name == "get_global_offset":
                 return np.int64(0)
-            key = {"get_global_id": ("idx", "idy", "idz"),
-                   "get_local_id": ("lidx", "lidy", "lidz"),
-                   "get_group_id": ("gidx", "gidy", "gidz")}.get(name)
+            key = {"get_global_id": GLOBAL_ID_KEYS,
+                   "get_local_id": LOCAL_ID_KEYS,
+                   "get_group_id": GROUP_ID_KEYS}.get(name)
             if key is not None:
                 return np.int64(state.ids[key[dim]])
             return np.int64(self.nd.size_of(name, dim))
@@ -577,28 +573,8 @@ class SerialEngine:
             ins = code[pos]
             op = ins[0]
             if OP_ADD <= op <= OP_BXOR:
-                lhs = regs[ins[L_A]]
-                rhs = regs[ins[L_B]]
-                if op == OP_ADD:
-                    result = lhs + rhs
-                elif op == OP_SUB:
-                    result = lhs - rhs
-                elif op == OP_MUL:
-                    result = lhs * rhs
-                elif op == OP_DIV:
-                    result = c_div(lhs, rhs, ins[L_ISFLOAT])
-                elif op == OP_MOD:
-                    result = c_imod(lhs, rhs)
-                elif op == OP_SHL:
-                    result = c_shl(lhs, rhs)
-                elif op == OP_SHR:
-                    result = c_shr(lhs, rhs)
-                elif op == OP_BAND:
-                    result = lhs & rhs
-                elif op == OP_BOR:
-                    result = lhs | rhs
-                else:
-                    result = lhs ^ rhs
+                result = binary_value(op, regs[ins[L_A]], regs[ins[L_B]],
+                                      ins[L_ISFLOAT])
                 dtype = ins[L_NP]
                 regs[ins[L_DST]] = dtype.type(
                     np.asarray(to_dtype(result, dtype)))
@@ -609,24 +585,7 @@ class SerialEngine:
                 if col is not None:
                     col.op(ins[L_LINE], 1, 1.0, ins[L_ISDBL])
             elif OP_CEQ <= op <= OP_LOR:
-                lhs = regs[ins[L_A]]
-                rhs = regs[ins[L_B]]
-                if op == OP_CEQ:
-                    r = lhs == rhs
-                elif op == OP_CNE:
-                    r = lhs != rhs
-                elif op == OP_CLT:
-                    r = lhs < rhs
-                elif op == OP_CGT:
-                    r = lhs > rhs
-                elif op == OP_CLE:
-                    r = lhs <= rhs
-                elif op == OP_CGE:
-                    r = lhs >= rhs
-                elif op == OP_LAND:
-                    r = (lhs != 0) and (rhs != 0)
-                else:
-                    r = (lhs != 0) or (rhs != 0)
+                r = compare_value(op, regs[ins[L_A]], regs[ins[L_B]])
                 regs[ins[L_DST]] = np.int32(1) if r else np.int32(0)
                 counters.alu_ops += 1.0
                 if col is not None:
@@ -719,18 +678,7 @@ class SerialEngine:
                     col.op(ins[L_LINE], 1, 1.0, False)
             elif op == OP_WIQ:
                 qcode, dim, name = ins[L_AUX]
-                if qcode == 0:
-                    value = np.int64(ids[("idx", "idy", "idz")[dim]])
-                elif qcode == 1:
-                    value = np.int64(ids[("lidx", "lidy", "lidz")[dim]])
-                elif qcode == 2:
-                    value = np.int64(ids[("gidx", "gidy", "gidz")[dim]])
-                elif qcode == 3:
-                    value = np.int32(self.nd.dim)
-                elif qcode == 4:
-                    value = np.int64(0)
-                else:
-                    value = np.int64(self.nd.size_of(name, dim))
+                value = wiq_value(qcode, dim, name, ids, self.nd)
                 regs[ins[L_DST]] = ins[L_NP].type(value)
             elif op == OP_BUILTIN:
                 impl, arg_regs, _name = ins[L_AUX]
@@ -827,15 +775,8 @@ class SerialEngine:
         dtype = mem.array.dtype
         val = (np.asarray(to_dtype(regs[ins[L_C]], dtype))
                if ins[L_C] >= 0 else dtype.type(1))
-        old = mem.array[idx]
-        if opstr in ("add", "inc"):
-            mem.array[idx] = old + val
-        elif opstr in ("sub", "dec"):
-            mem.array[idx] = old - val
-        elif opstr == "min":
-            mem.array[idx] = min(old, val)
-        elif opstr == "max":
-            mem.array[idx] = max(old, val)
+        if opstr in ATOMIC_UFUNCS:
+            mem.array[idx] = ATOMIC_UFUNCS[opstr](mem.array[idx], val)
         counters = self.counters
         col = self._col
         if space == SPACE_LOCAL:

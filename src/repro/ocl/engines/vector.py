@@ -22,23 +22,25 @@ import numpy as np
 from ... import prof, trace
 from ...clc import ir as I
 from ...clc.builtins import BUILTINS
-from ...clc.lower import (BYTECODE_VERSION, L_A, L_AUX, L_B, L_C, L_DST,
+from ...clc.lower import (L_A, L_AUX, L_B, L_C, L_DST,
                           L_ISDBL, L_ISFLOAT, L_LINE, L_NP, L_UNI,
-                          L_VCOST, OP_ADD, OP_ATOMIC, OP_BAND, OP_BARRIER,
-                          OP_BNOT, OP_BOR, OP_BREAK, OP_BUILTIN, OP_BXOR,
-                          OP_CALL, OP_CAST, OP_CASTF, OP_CEQ, OP_CGE,
-                          OP_CGT, OP_CLE, OP_CLT, OP_CNE, OP_CONST,
-                          OP_CONTINUE, OP_DECLARR, OP_DIV, OP_IF, OP_LAND,
-                          OP_LD, OP_LNOT, OP_LOOP, OP_LOR, OP_MOD, OP_MOV,
-                          OP_MUL, OP_NEG, OP_RET, OP_SELECT, OP_SHL,
-                          OP_SHR, OP_ST, OP_SUB, OP_WIQ, SPACE_GLOBAL,
-                          SPACE_LOCAL, linked_program)
+                          L_VCOST, OP_ADD, OP_ATOMIC, OP_BARRIER,
+                          OP_BNOT, OP_BREAK, OP_BUILTIN, OP_BXOR,
+                          OP_CALL, OP_CAST, OP_CASTF, OP_CEQ, OP_CONST,
+                          OP_CONTINUE, OP_DECLARR, OP_IF,
+                          OP_LD, OP_LNOT, OP_LOOP, OP_LOR, OP_MOV,
+                          OP_NEG, OP_RET, OP_SELECT,
+                          OP_ST, OP_WIQ, SPACE_GLOBAL, SPACE_LOCAL)
 from ...clc.types import DOUBLE, SCALAR_TYPES, PointerType, ScalarType
 from ...errors import InvalidKernelArgs, KernelLaunchError, OutOfResources
-from ..costmodel import CostCounters, count_transactions
-from .base import (BufferBinding, LocalBinding, NDRange, ScalarBinding,
-                   check_args)
-from .carith import c_div, c_imod, c_shl, c_shr, to_dtype, truth
+from ..costmodel import (CostCounters, count_index_transactions,
+                         count_transactions)
+from .base import (ATOMIC_UFUNCS, GLOBAL_ID_KEYS, GROUP_ID_KEYS,
+                   LOCAL_ID_KEYS, MAX_LOOP_ITERATIONS, BufferBinding,
+                   LocalBinding, Mem as _Mem, NDRange, ScalarBinding,
+                   check_args, linked_entry, register_engine, wiq_value)
+from .carith import (binary_value, c_div, c_imod, c_shl, c_shr,
+                     compare_value, to_dtype, truth)
 
 #: weighted cost (in fp32-add units) of the arithmetic operators
 _OP_COST = {"+": 1.0, "-": 1.0, "*": 1.0,
@@ -47,24 +49,14 @@ _OP_COST = {"+": 1.0, "-": 1.0, "*": 1.0,
             "==": 1.0, "!=": 1.0, "<": 1.0, ">": 1.0, "<=": 1.0,
             ">=": 1.0, "&&": 1.0, "||": 1.0}
 
-_MAX_LOOP_ITERATIONS = 50_000_000
+_MAX_LOOP_ITERATIONS = MAX_LOOP_ITERATIONS
 
 
-class _Mem:
-    """A memory object visible to kernel code under a name."""
-
-    __slots__ = ("array", "kind", "space", "name")
-
-    def __init__(self, array: np.ndarray, kind: str, space: str,
-                 name: str) -> None:
-        self.array = array
-        self.kind = kind      # buffer | local | private
-        self.space = space    # global | constant | local | private
-        self.name = name
-
-    @property
-    def size(self) -> int:
-        return self.array.shape[-1]
+def _as_key(size):
+    """Hashable form of an NDRange size argument (int, sequence or None)."""
+    if size is None or isinstance(size, int):
+        return size
+    return tuple(size)
 
 
 class _Frame:
@@ -96,10 +88,13 @@ class _BFrame:
         self.ret_np = ret_np
 
 
+@register_engine
 class VectorEngine:
     """Execute one kernel launch over a whole NDRange in lock step."""
 
     name = "vector"
+    capabilities = frozenset({"tree", "bytecode", "simt"})
+    codegen_version = 0
 
     def __init__(self, program, spec) -> None:
         self.program = program
@@ -116,16 +111,30 @@ class VectorEngine:
             raise InvalidKernelArgs(f"no kernel named {kernel_name!r}")
         check_args(kernel, args, self.spec)
 
-        nd = NDRange(global_size, local_size,
-                     max_work_group_size=self.spec.max_work_group_size,
-                     max_work_item_sizes=self.spec.max_work_item_sizes)
+        nd_key = (_as_key(global_size), _as_key(local_size))
+        nd = self._nd_cache.get(nd_key) if hasattr(self, "_nd_cache") \
+            else None
+        if nd is None:
+            nd = NDRange(global_size, local_size,
+                         max_work_group_size=self.spec.max_work_group_size,
+                         max_work_item_sizes=self.spec.max_work_item_sizes)
+            if not hasattr(self, "_nd_cache"):
+                self._nd_cache = {}
+            self._nd_cache[nd_key] = nd
         self.nd = nd
         self.n = nd.total_items
         ids = nd.lane_ids()
         self.ids = ids
         self.group_flat = ids["group_flat"]
         self.lane = ids["lane"]
-        self.warp_ids = self.lane // max(1, self.spec.warp_size)
+        # derived per-warp ids, memoized next to the lane ids they come
+        # from (the dict is shared across launches of this shape)
+        wkey = f"_warp{self.spec.warp_size}"
+        warp = ids.get(wkey)
+        if warp is None:
+            warp = self.lane // max(1, self.spec.warp_size)
+            ids[wkey] = warp
+        self.warp_ids = warp
 
         self.counters = CostCounters(work_items=self.n,
                                      work_groups=nd.total_groups)
@@ -160,11 +169,8 @@ class VectorEngine:
     def _bytecode_entry(self, kernel_name: str):
         """(linked code, KernelBytecode) when the program ships bytecode
         this engine understands (O1+), else None (tree fallback)."""
-        pbc = getattr(self.program, "bytecode", None)
-        if pbc is None or getattr(pbc, "version", None) != BYTECODE_VERSION:
-            return None
-        self._linked = linked_program(pbc)
-        return self._linked.get(kernel_name)
+        self._linked, entry = linked_entry(self.program, kernel_name)
+        return entry
 
     # -- argument binding ----------------------------------------------------------
 
@@ -395,16 +401,10 @@ class VectorEngine:
             if col is not None:
                 col.mem(stmt.line, n, n * itemsize, tx, False, self.n)
                 col.mem(stmt.line, n, n * itemsize, tx, True, self.n)
-        if op in ("add", "inc"):
-            np.add.at(mem.array, index, val)
-        elif op == "sub":
-            np.subtract.at(mem.array, index, val)
-        elif op == "min":
-            np.minimum.at(mem.array, index, val)
-        elif op == "max":
-            np.maximum.at(mem.array, index, val)
-        else:  # pragma: no cover
+        ufunc = ATOMIC_UFUNCS.get(op)
+        if ufunc is None:  # pragma: no cover
             raise KernelLaunchError(f"unknown atomic op {op!r}")
+        ufunc.at(mem.array, index, val)
 
     def _check_bounds(self, idx: np.ndarray, mem: _Mem,
                       mask: np.ndarray, line: int) -> None:
@@ -576,11 +576,11 @@ class VectorEngine:
         if name == "get_global_offset":
             return np.int64(0)
         if name == "get_global_id":
-            return self.ids[("idx", "idy", "idz")[dim]]
+            return self.ids[GLOBAL_ID_KEYS[dim]]
         if name == "get_local_id":
-            return self.ids[("lidx", "lidy", "lidz")[dim]]
+            return self.ids[LOCAL_ID_KEYS[dim]]
         if name == "get_group_id":
-            return self.ids[("gidx", "gidy", "gidz")[dim]]
+            return self.ids[GROUP_ID_KEYS[dim]]
         return np.int64(self.nd.size_of(name, dim))
 
     def _eval_call(self, expr: I.CallFunction, mask: np.ndarray):
@@ -615,8 +615,10 @@ class VectorEngine:
     # logically-active lane, so the cost model is unchanged by how the
     # host happens to evaluate an instruction.
 
-    def _run_bytecode(self, entry, kernel, args) -> None:
-        code, kbc = entry
+    def _bc_frame(self, kbc, args) -> _BFrame:
+        """Bind launch arguments into a fresh bytecode activation frame
+        (shared with the JIT engine, which compiles the body but keeps
+        the interpreter's binding semantics)."""
         frame = _BFrame(kbc.n_regs, kbc.n_mems)
         for p, arg in zip(kbc.params, args):
             if p[0] == "scalar":
@@ -631,6 +633,11 @@ class VectorEngine:
                 storage = np.zeros((self.nd.total_groups, nelems),
                                    dtype=elem.np_dtype)
                 frame.mems[p[3]] = _Mem(storage, "local", "local", p[1])
+        return frame
+
+    def _run_bytecode(self, entry, kernel, args) -> None:
+        code, kbc = entry
+        frame = self._bc_frame(kbc, args)
         self._bloops: list = []
         self._dead = np.zeros(self.n, dtype=bool)
         mask = np.ones(self.n, dtype=bool)
@@ -651,28 +658,8 @@ class VectorEngine:
             ins = code[pos]
             op = ins[0]
             if OP_ADD <= op <= OP_BXOR:
-                lhs = regs[ins[L_A]]
-                rhs = regs[ins[L_B]]
-                if op == OP_ADD:
-                    result = lhs + rhs
-                elif op == OP_SUB:
-                    result = lhs - rhs
-                elif op == OP_MUL:
-                    result = lhs * rhs
-                elif op == OP_DIV:
-                    result = c_div(lhs, rhs, ins[L_ISFLOAT])
-                elif op == OP_MOD:
-                    result = c_imod(lhs, rhs)
-                elif op == OP_SHL:
-                    result = c_shl(lhs, rhs)
-                elif op == OP_SHR:
-                    result = c_shr(lhs, rhs)
-                elif op == OP_BAND:
-                    result = lhs & rhs
-                elif op == OP_BOR:
-                    result = lhs | rhs
-                else:
-                    result = lhs ^ rhs
+                result = binary_value(op, regs[ins[L_A]], regs[ins[L_B]],
+                                      ins[L_ISFLOAT])
                 regs[ins[L_DST]] = to_dtype(result, ins[L_NP])
                 if ins[L_ISDBL]:
                     counters.fp64_ops += ins[L_VCOST] * n_act
@@ -682,24 +669,7 @@ class VectorEngine:
                     col.op(ins[L_LINE], n_act, ins[L_VCOST],
                            ins[L_ISDBL], n)
             elif OP_CEQ <= op <= OP_LOR:
-                lhs = regs[ins[L_A]]
-                rhs = regs[ins[L_B]]
-                if op == OP_CEQ:
-                    r = lhs == rhs
-                elif op == OP_CNE:
-                    r = lhs != rhs
-                elif op == OP_CLT:
-                    r = lhs < rhs
-                elif op == OP_CGT:
-                    r = lhs > rhs
-                elif op == OP_CLE:
-                    r = lhs <= rhs
-                elif op == OP_CGE:
-                    r = lhs >= rhs
-                elif op == OP_LAND:
-                    r = truth(lhs) & truth(rhs)
-                else:
-                    r = truth(lhs) | truth(rhs)
+                r = compare_value(op, regs[ins[L_A]], regs[ins[L_B]])
                 regs[ins[L_DST]] = np.asarray(r).astype(np.int32)
                 counters.alu_ops += n_act
                 if col is not None:
@@ -723,10 +693,11 @@ class VectorEngine:
                 safe = np.clip(idx, 0, mem.size - 1)
                 if space == SPACE_GLOBAL:
                     itemsize = mem.array.dtype.itemsize
-                    tx = count_transactions(
-                        (safe if full else safe[mask]) * itemsize,
+                    tx = count_index_transactions(
+                        safe if full else safe[mask],
                         self.warp_ids if full else self.warp_ids[mask],
-                        self.spec.segment_bytes)
+                        self.spec.segment_bytes, itemsize,
+                        self.spec.warp_size if full else 0)
                     counters.global_loads += n_act
                     counters.global_load_bytes += n_act * itemsize
                     counters.global_load_transactions += tx
@@ -758,10 +729,11 @@ class VectorEngine:
                 if space == SPACE_GLOBAL:
                     mem.array[safe_m] = valm_m
                     itemsize = mem.array.dtype.itemsize
-                    tx = count_transactions(
-                        safe_m * itemsize,
+                    tx = count_index_transactions(
+                        safe_m,
                         self.warp_ids if full else self.warp_ids[mask],
-                        self.spec.segment_bytes)
+                        self.spec.segment_bytes, itemsize,
+                        self.spec.warp_size if full else 0)
                     counters.global_stores += n_act
                     counters.global_store_bytes += n_act * itemsize
                     counters.global_store_transactions += tx
@@ -825,18 +797,7 @@ class VectorEngine:
                     col.op(ins[L_LINE], n_act, 1.0, False, n)
             elif op == OP_WIQ:
                 qcode, dim, name = ins[L_AUX]
-                if qcode == 0:
-                    value = self.ids[("idx", "idy", "idz")[dim]]
-                elif qcode == 1:
-                    value = self.ids[("lidx", "lidy", "lidz")[dim]]
-                elif qcode == 2:
-                    value = self.ids[("gidx", "gidy", "gidz")[dim]]
-                elif qcode == 3:
-                    value = np.int32(self.nd.dim)
-                elif qcode == 4:
-                    value = np.int64(0)
-                else:
-                    value = np.int64(self.nd.size_of(name, dim))
+                value = wiq_value(qcode, dim, name, self.ids, self.nd)
                 regs[ins[L_DST]] = to_dtype(value, ins[L_NP])
             elif op == OP_BUILTIN:
                 impl, arg_regs, _name = ins[L_AUX]
@@ -1037,10 +998,11 @@ class VectorEngine:
             counters.global_stores += n_act
             counters.global_load_bytes += n_act * itemsize
             counters.global_store_bytes += n_act * itemsize
-            tx = count_transactions(
-                safe_m * itemsize,
+            tx = count_index_transactions(
+                safe_m,
                 self.warp_ids if full else self.warp_ids[mask],
-                self.spec.segment_bytes)
+                self.spec.segment_bytes, itemsize,
+                self.spec.warp_size if full else 0)
             counters.global_load_transactions += tx
             counters.global_store_transactions += tx
             if col is not None:
@@ -1048,13 +1010,7 @@ class VectorEngine:
                         self.n)
                 col.mem(ins[L_LINE], n_act, n_act * itemsize, tx, True,
                         self.n)
-        if op in ("add", "inc"):
-            np.add.at(mem.array, index, val)
-        elif op == "sub":
-            np.subtract.at(mem.array, index, val)
-        elif op == "min":
-            np.minimum.at(mem.array, index, val)
-        elif op == "max":
-            np.maximum.at(mem.array, index, val)
-        else:  # pragma: no cover
+        ufunc = ATOMIC_UFUNCS.get(op)
+        if ufunc is None:  # pragma: no cover
             raise KernelLaunchError(f"unknown atomic op {op!r}")
+        ufunc.at(mem.array, index, val)

@@ -13,11 +13,16 @@ from .device import Device
 from .devicedb import DEFAULT_DEVICES, DeviceSpec
 
 _current_specs: tuple[DeviceSpec, ...] = DEFAULT_DEVICES
-_default_engine = "vector"
+_default_engine: str | None = None
 
 
-def set_platform_devices(specs, engine: str = "vector") -> None:
-    """Replace the simulated device roster (affects new ``get_platforms``)."""
+def set_platform_devices(specs, engine: str | None = None) -> None:
+    """Replace the simulated device roster (affects new ``get_platforms``).
+
+    ``engine=None`` leaves devices on the process-wide default backend
+    (``hpl.configure(engine=)`` / ``$HPL_ENGINE`` / ``vector``); an
+    explicit name pins every roster device to that backend.
+    """
     global _current_specs, _default_engine
     _current_specs = tuple(specs)
     _default_engine = engine
@@ -25,7 +30,7 @@ def set_platform_devices(specs, engine: str = "vector") -> None:
 
 def reset_platform_devices() -> None:
     """Restore the paper's default machine configuration."""
-    set_platform_devices(DEFAULT_DEVICES, "vector")
+    set_platform_devices(DEFAULT_DEVICES, None)
 
 
 class Platform:

@@ -12,6 +12,25 @@ from .faults import active_plan
 from .kernel_obj import Kernel
 
 
+def engine_signature_of(devices) -> str:
+    """Cache-key component naming the execution backends ``devices``
+    resolve to, with their codegen versions (``jit+cg1,vector+cg0``).
+
+    Interpreters carry ``codegen_version = 0`` and produce no generated
+    artifacts, but codegen backends cache source next to the IR — so the
+    set of target backends (and each backend's codegen version) must be
+    part of the compile key: switching engines mid-session or upgrading
+    a backend's emitter can never serve a stale artifact.
+    """
+    from .engines.base import get_engine_class
+    parts = set()
+    for dev in devices:
+        name = dev.engine_name
+        cls = get_engine_class(name)
+        parts.add(f"{name}+cg{getattr(cls, 'codegen_version', 0)}")
+    return ",".join(sorted(parts))
+
+
 def _disk_cache():
     """The process's persistent kernel cache, or None when disabled.
 
@@ -40,10 +59,11 @@ class Program:
     When a persistent kernel cache is active (``HPL_CACHE_DIR`` or
     ``hpl.configure(cache_dir=...)``), the compile step is served from
     disk when possible: the cache key covers the preprocessed source,
-    build options, compiler version, device fp64 caps and the
-    middle-end configuration (opt level, pass-pipeline and bytecode
-    versions), so a hit is always safe to reuse; per-device validation
-    still runs on every build.
+    build options, compiler version, device fp64 caps, the middle-end
+    configuration (opt level, pass-pipeline and bytecode versions) and
+    the target execution backends (engine names + codegen versions), so
+    a hit is always safe to reuse; per-device validation still runs on
+    every build.
 
     The optimization level comes from the build options (``-O0``..
     ``-O3``, with ``-cl-opt-disable`` forcing ``-O0``) and otherwise
@@ -112,6 +132,15 @@ class Program:
             self._last_log = "\n".join(flat)
             raise BuildProgramFailure(flat[0], build_log=self._last_log)
         self._last_log = "build succeeded"
+        # backends with a build step of their own (the JIT's codegen)
+        # run it now, as a vendor compiler would, instead of at the
+        # first enqueue
+        from .engines.base import get_engine_class
+        for dev in devices:
+            hook = getattr(get_engine_class(dev.engine_name),
+                           "prebuild", None)
+            if hook is not None:
+                hook(ir, dev.spec)
         return self
 
     def _compile(self, options: str, devices) -> ProgramIR:
@@ -144,7 +173,8 @@ class Program:
                     {"fp64" if d.supports_fp64 else "nofp64"
                      for d in devices}))
                 key = cache.key_of(preprocessed, options, caps,
-                                   opt_signature(opt_level))
+                                   opt_signature(opt_level),
+                                   engine_signature_of(devices))
                 hit = cache.get(key)
                 if hit is not None:
                     return hit

@@ -316,7 +316,8 @@ class CommandQueue:
 
         def payload():
             with trace.span("enqueue_kernel", category="simcl",
-                            kernel=name, device=self.device.name) as sp:
+                            kernel=name, device=self.device.name,
+                            engine=self.device.engine_name) as sp:
                 engine = self.device.make_engine(program_ir)
                 counters = engine.run(name, args, global_size, local_size)
                 breakdown = kernel_time(counters, self.device.spec)

@@ -89,3 +89,32 @@ class TestFigureRunners:
         # §V-B: counting transfers shrinks transpose's relative overhead
         assert abs(wet[0]["slowdown_pct"]) <= \
             abs(dry[0]["slowdown_pct"]) + 0.5
+
+
+class TestEngineJit:
+    def test_engine_jit_wiring(self, monkeypatch, tmp_path):
+        """`run_engine_jit` plumbing on tiny problems: interleaved
+        rounds, per-engine bests, identical checksums, JSON artifact.
+        The real >= 2x perf gate runs on the full sizes in CI."""
+        from repro.benchsuite import floyd
+
+        monkeypatch.setattr(
+            runner, "_problems_engine_jit",
+            lambda: {"Floyd-Warshall": (floyd.floyd_problem(64, n_run=4), 2)})
+        out = tmp_path / "engine_jit.json"
+        row = runner.run_engine_jit(rounds=1, gate=None, output=str(out))
+        leg = row["benchmarks"]["Floyd-Warshall"]
+        assert leg["vector_seconds"] > 0 and leg["jit_seconds"] > 0
+        assert row["checksums_identical"]
+        assert out.exists()
+        text = report.format_engine_jit(row)
+        assert "geomean" in text and "jit" in text
+
+    def test_engine_jit_gate_fires(self, monkeypatch):
+        from repro.benchsuite import floyd
+
+        monkeypatch.setattr(
+            runner, "_problems_engine_jit",
+            lambda: {"Floyd-Warshall": (floyd.floyd_problem(64, n_run=4), 2)})
+        with pytest.raises(AssertionError, match="gate"):
+            runner.run_engine_jit(rounds=1, gate=1e9, output=None)

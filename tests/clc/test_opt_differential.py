@@ -1,13 +1,17 @@
-"""Differential fuzzing of the optimizing middle-end.
+"""Differential fuzzing of the optimizing middle-end and the engines.
 
 ~200 seeded random OpenCL C kernels (integer/uint/float arithmetic,
 nested ifs and for loops, selects, barriers with __local staging) are
-executed three ways — serial engine at -O0 (tree interpreter, no
-middle-end), serial engine at -O2 (optimized bytecode) and vector
-engine at -O2 — and every output buffer must match **bit for bit**.
-Any unsound fold, wrong strength reduction, bad uniformity tag or
-bytecode lowering bug shows up as a divergence with a reproducible
-seed.
+executed five ways — serial engine at -O0 (tree interpreter, no
+middle-end), serial engine at -O2 (optimized bytecode), vector engine
+at -O2, and the codegen JIT engine at both -O0 (tree fallback) and
+-O2 (generated NumPy code) — and every output buffer must match **bit
+for bit**.  Any unsound fold, wrong strength reduction, bad uniformity
+tag, bytecode lowering bug or codegen emission bug shows up as a
+divergence with a reproducible seed.  The JIT leg must additionally
+report cost counters identical to the vector engine's (it is the same
+SIMT execution model on a different substrate; the serial engine's
+*transaction* counters legitimately differ — CPU model).
 
 Also holds the satellite regression test that the cost model counts
 *executed post-optimization* ops: -O2 must report fewer ALU ops than
@@ -207,17 +211,19 @@ def _run_config(engine: str, options: str, source: str, gsize, lsize,
     device = cl.Device(cl.TESLA_C2050, engine)
     out = np.zeros(gsize[0], np.float32)
     iout = np.zeros(gsize[0], np.int32)
-    run_cl_kernel(device, source, "fuzz",
-                  [out, iout, fin.copy(), iin.copy(),
-                   np.int32(gsize[0]), np.float32(s)],
-                  gsize, lsize, options=options)
-    return out, iout
+    event = run_cl_kernel(device, source, "fuzz",
+                          [out, iout, fin.copy(), iin.copy(),
+                           np.int32(gsize[0]), np.float32(s)],
+                          gsize, lsize, options=options)
+    return out, iout, event.counters
 
 
 @pytest.mark.parametrize("batch", range(_BATCHES))
-def test_random_kernels_bit_identical_across_opt_levels(batch):
-    """O0-serial == O2-serial == O2-vector, bit for bit, on 10 random
-    kernels per batch (seeds are stable, failures name the kernel)."""
+def test_random_kernels_bit_identical_across_engines(batch):
+    """serial-O0 == serial-O2 == vector-O2 == jit-O0 == jit-O2, bit for
+    bit, on 10 random kernels per batch (seeds are stable, failures
+    name the kernel); jit counters == vector counters, field for
+    field."""
     for i in range(_KERNELS_PER_BATCH):
         seed = 1000 + batch * _KERNELS_PER_BATCH + i
         gen = _KernelGen(seed)
@@ -236,9 +242,13 @@ def test_random_kernels_bit_identical_across_opt_levels(batch):
                                       source, gsize, lsize, fin, iin, s),
             "vector -O2": _run_config("vector", "-O2",
                                       source, gsize, lsize, fin, iin, s),
+            "jit -O0": _run_config("jit", "-cl-opt-disable",
+                                   source, gsize, lsize, fin, iin, s),
+            "jit -O2": _run_config("jit", "-O2",
+                                   source, gsize, lsize, fin, iin, s),
         }
-        ref_name, (ref_out, ref_iout) = next(iter(legs.items()))
-        for name, (out, iout) in legs.items():
+        ref_name, (ref_out, ref_iout, _c) = next(iter(legs.items()))
+        for name, (out, iout, _c) in legs.items():
             # byte-level compare: exact bits, NaN-safe
             assert out.tobytes() == ref_out.tobytes(), (
                 f"seed {seed}: float outputs of {name} != {ref_name}\n"
@@ -246,6 +256,12 @@ def test_random_kernels_bit_identical_across_opt_levels(batch):
             assert iout.tobytes() == ref_iout.tobytes(), (
                 f"seed {seed}: int outputs of {name} != {ref_name}\n"
                 f"{source}")
+        # the jit engine swaps the execution substrate, not the model:
+        # every counter (ALU, traffic, transactions, barriers) must
+        # match the vector interpreter exactly
+        assert vars(legs["jit -O2"][2]) == vars(legs["vector -O2"][2]), (
+            f"seed {seed}: jit -O2 counters diverge from vector -O2\n"
+            f"{source}")
 
 
 # -- cost model counts executed, post-optimization ops ------------------------

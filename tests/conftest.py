@@ -30,9 +30,9 @@ def tesla_serial():
     return cl.Device(TESLA_C2050, "serial")
 
 
-@pytest.fixture(params=["vector", "serial"])
+@pytest.fixture(params=["vector", "serial", "jit"])
 def any_engine_device(request):
-    """Parametrized over both execution engines."""
+    """Parametrized over every built-in execution engine."""
     return cl.Device(TESLA_C2050, request.param)
 
 

@@ -429,7 +429,7 @@ class TestLockLifecycle:
         blob_path.write_bytes(program.to_bytes())
         os.utime(blob_path, (1.0, 1.0))
 
-        real_entries = cache.entries
+        real_entries = cache._all_entries
 
         def entries_then_touch():
             scanned = real_entries()
@@ -437,7 +437,7 @@ class TestLockLifecycle:
             os.utime(blob_path, (2.0, 2.0))
             return scanned
 
-        monkeypatch.setattr(cache, "entries", entries_then_touch)
+        monkeypatch.setattr(cache, "_all_entries", entries_then_touch)
         with cache._locked():
             cache._evict_lru()
         assert blob_path.exists()       # re-stat saw the newer mtime
@@ -450,14 +450,14 @@ class TestLockLifecycle:
         program = compile_source(SOURCE)
         blob_path.write_bytes(program.to_bytes())
 
-        real_entries = cache.entries
+        real_entries = cache._all_entries
 
         def entries_then_remove():
             scanned = real_entries()
             blob_path.unlink()          # concurrent purge got it first
             return scanned
 
-        monkeypatch.setattr(cache, "entries", entries_then_remove)
+        monkeypatch.setattr(cache, "_all_entries", entries_then_remove)
         with cache._locked():
             cache._evict_lru()          # must not raise
         assert real_entries() == []

@@ -59,6 +59,48 @@ class TestPerCallLambdas:
         assert rt.cache_entries == 2
 
 
+class TestEngineSwitchRecompiles:
+    def test_switching_engine_mid_session_recompiles(self):
+        """The compiled-kernel cache key carries the resolved engine
+        name: ``hpl.configure(engine=)`` mid-session must build a new
+        executable, never reuse the other backend's cached code — and
+        switching back hits the original entry again."""
+        rt = get_runtime()
+
+        def k(y):
+            y[idx] = y[idx] * 3.0
+
+        a_vector, a_jit = _farray(), _farray()
+        hpl.eval(k)(a_vector)
+        assert rt.stats.kernels_built == 1
+        hpl.configure(engine="jit")
+        try:
+            switched = hpl.eval(k)(a_jit)
+            assert not switched.from_cache
+            assert rt.stats.kernels_built == 2
+            again = hpl.eval(k)(_farray())
+            assert again.from_cache         # same backend: cached now
+        finally:
+            hpl.configure(engine=None)
+        back = hpl.eval(k)(_farray())
+        assert back.from_cache              # original entry still valid
+        assert rt.stats.kernels_built == 2
+        np.testing.assert_array_equal(a_vector.data, a_jit.data)
+
+    def test_reset_runtime_drops_jit_codegen(self):
+        from repro.hpl import reset_runtime
+        from repro.ocl.engines import jit as jit_mod
+
+        hpl.configure(engine="jit")
+        try:
+            hpl.eval(lambda y: y.__setitem__(idx, y[idx] + 1.0))(_farray())
+        finally:
+            hpl.configure(engine=None)
+        assert jit_mod._source_memo
+        reset_runtime()
+        assert not jit_mod._source_memo
+
+
 class TestWeakrefPurge:
     def test_dead_nonprimitive_closure_is_evicted(self):
         # closing over an ndarray forces the weakref fallback; once the

@@ -1,0 +1,122 @@
+"""The pluggable execution-backend registry and engine selection."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+import repro.ocl as cl
+from repro.ocl import TESLA_C2050
+from repro.ocl.engines.base import (_REGISTRY, available_engines,
+                                    default_engine, get_engine_class,
+                                    register_engine, set_default_engine)
+from repro.ocl.engines.vector import VectorEngine
+from tests.conftest import run_cl_kernel
+
+BUILTIN_ENGINES = ("serial", "vector", "jit")
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    """Every test leaves the process-wide default engine untouched."""
+    set_default_engine(None)
+    yield
+    set_default_engine(None)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        for name in BUILTIN_ENGINES:
+            assert name in available_engines()
+            assert get_engine_class(name).name == name
+
+    def test_capability_flags(self):
+        assert "simt" not in get_engine_class("serial").capabilities
+        assert "simt" in get_engine_class("vector").capabilities
+        jit = get_engine_class("jit")
+        assert {"bytecode", "simt", "codegen"} <= jit.capabilities
+        assert jit.codegen_version >= 1
+        # interpreters emit no generated code, so their artifacts can
+        # never be invalidated by a codegen bump
+        assert get_engine_class("vector").codegen_version == 0
+
+    def test_unknown_engine_error_lists_backends(self):
+        with pytest.raises(ValueError) as exc:
+            get_engine_class("warpspeed")
+        msg = str(exc.value)
+        assert "warpspeed" in msg
+        for name in BUILTIN_ENGINES:
+            assert name in msg
+
+    def test_device_rejects_unknown_engine_eagerly(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            cl.Device(TESLA_C2050, "warpspeed")
+
+    def test_register_engine_validates_shape(self):
+        with pytest.raises(ValueError, match="name"):
+            register_engine(type("Nameless", (), {}))
+        with pytest.raises(ValueError, match="run"):
+            register_engine(type("NoRun", (), {"name": "norun"}))
+
+    def test_custom_engine_registers_and_runs(self):
+        calls = []
+
+        @register_engine
+        class CountingEngine(VectorEngine):
+            name = "counting-test"
+
+            def run(self, *args, **kwargs):
+                calls.append(args[0])
+                return super().run(*args, **kwargs)
+
+        try:
+            device = cl.Device(TESLA_C2050, "counting-test")
+            y = np.zeros(8, np.int32)
+            run_cl_kernel(device, "__kernel void k(__global int* y) "
+                                  "{ y[get_global_id(0)] = 7; }",
+                          "k", [y], (8,))
+            assert calls == ["k"]
+            assert (y == 7).all()
+        finally:
+            del _REGISTRY["counting-test"]
+
+
+class TestSelectionPrecedence:
+    def test_default_is_vector(self):
+        assert default_engine() == "vector"
+        assert cl.Device(TESLA_C2050).engine_name == "vector"
+
+    def test_env_override_and_validation(self, monkeypatch):
+        monkeypatch.setenv("HPL_ENGINE", "serial")
+        assert default_engine() == "serial"
+        assert cl.Device(TESLA_C2050).engine_name == "serial"
+        monkeypatch.setenv("HPL_ENGINE", "warpspeed")
+        with pytest.raises(ValueError, match="registered backends"):
+            default_engine()
+
+    def test_configure_beats_env(self, monkeypatch):
+        monkeypatch.setenv("HPL_ENGINE", "serial")
+        hpl.configure(engine="jit")
+        assert default_engine() == "jit"
+        hpl.configure(engine=None)      # back to the env override
+        assert default_engine() == "serial"
+
+    def test_configure_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="registered backends"):
+            hpl.configure(engine="warpspeed")
+
+    def test_spec_engine_beats_default(self):
+        spec = dataclasses.replace(TESLA_C2050, engine="serial")
+        assert cl.Device(spec).engine_name == "serial"
+        # explicit Device(engine=) still wins over the spec
+        assert cl.Device(spec, "jit").engine_name == "jit"
+
+    def test_unset_device_tracks_default_dynamically(self):
+        device = cl.Device(TESLA_C2050)
+        set_default_engine("jit")
+        assert device.engine_name == "jit"
+        set_default_engine(None)
+        assert device.engine_name == "vector"

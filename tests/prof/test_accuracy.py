@@ -51,7 +51,7 @@ LOOP = """__kernel void looped(__global int* out)
 """
 
 OPT_LEVELS = ("-cl-opt-disable", "-O2")
-ENGINES = ("serial", "vector")
+ENGINES = ("serial", "vector", "jit")
 
 
 def _run_axpy(cl_run, engine, options):
@@ -96,7 +96,7 @@ class TestHandComputedCounts:
 
 
 class TestEngineParity:
-    """Serial and vector must attribute identical execution counts to
+    """Every engine must attribute identical execution counts to
     identical lines — the same program is simulated either way."""
 
     @pytest.mark.parametrize("source,name,nargs", [
@@ -122,6 +122,7 @@ class TestEngineParity:
                 line: (s.execs, s.loads, s.stores, s.mem_bytes)
                 for line, s in profile.lines.items()}
         assert per_engine["serial"] == per_engine["vector"]
+        assert per_engine["jit"] == per_engine["vector"]
 
     def test_loop_body_attribution(self, profiler, cl_run):
         """The while body must carry the trip count: 10 iterations x 64
