@@ -100,6 +100,37 @@ def format_cluster_faults(row: dict) -> str:
     return "\n".join(out)
 
 
+def format_cluster_resilience(row: dict) -> str:
+    """Render the watchdog/checkpoint resilience legs
+    (cluster-resilience)."""
+    out = [f"Cluster resilience: {row['n']}-element kernel "
+           f"({row['iters']} iters/item), {row['schedule']} schedule, "
+           f"mean of {row['reps']} rep(s)",
+           _rule(),
+           f"{'leg':<24}{'makespan':>12}{'overhead':>10}"
+           f"{'spec wins':>11}", _rule()]
+    base = row["legs"]["no-fault"]["makespan_seconds"]
+    for name, leg in row["legs"].items():
+        if name == "kill-and-resume":
+            continue
+        out.append(
+            f"{name:<24}{leg['makespan_seconds'] * 1e3:>10.3f}ms"
+            f"{leg['makespan_seconds'] / base:>9.2f}x"
+            f"{leg['speculative_wins']:>11}")
+    resumed = row["legs"]["kill-and-resume"]
+    out += [_rule(),
+            f"{'kill-and-resume: blocks restored from checkpoint':<48}"
+            f"{resumed['resumed_blocks']:>10}",
+            f"{'kill-and-resume: launches after resume':<48}"
+            f"{resumed['launches_after_resume']:>10}",
+            f"{'resume bit-identical to no-fault':<44}"
+            f"{str(row['resume_bit_identical']):>14}",
+            f"{'all legs bit-identical':<44}"
+            f"{str(row['results_identical']):>14}",
+            _rule()]
+    return "\n".join(out)
+
+
 def format_table1(rows: list[dict]) -> str:
     """Render Table I (SLOC comparison)."""
     out = ["Table I: SLOCs for the OpenCL and HPL versions of the "

@@ -979,6 +979,232 @@ def run_cluster_faults(n: int = 1 << 14, iters: int = 48,
     return row
 
 
+def _make_res_kernel(iters: int):
+    """The compute-bound partitioned kernel shared by the resilience
+    legs and the kill-and-resume subprocesses (the kernel *name* is
+    part of the checkpoint run id, so both sides must build it the
+    same way)."""
+    from ..hpl import Float, Int, endfor_, for_, idx
+    from ..hpl import sqrt as hpl_sqrt
+
+    def res_heavy(y, x, a, offset, count):
+        acc = Float(0.0)
+        j = Int()
+        for_(j, 0, iters)
+        acc.assign(acc + hpl_sqrt(x[idx] * x[idx] + a * acc + 1.0))
+        endfor_()
+        y[idx] = acc
+
+    return res_heavy
+
+
+def _resilience_data(n: int):
+    import numpy as np
+
+    return np.random.default_rng(7).random(n).astype(np.float32)
+
+
+def _resilience_child() -> None:
+    """Kill-and-resume subprocess body (cluster-resilience target).
+
+    ``HPL_RESILIENCE_MODE=kill`` SIGKILLs the process at its third
+    checkpoint snapshot — no cleanup, no atexit, exactly a crashed run;
+    ``resume`` restores the snapshot, finishes the work, and reports
+    the gathered result's digest on stdout.
+    """
+    import hashlib
+    import json
+    import os
+    import signal
+    import sys
+
+    from ..hpl import (Cluster, DistributedArray, Float, cluster_eval,
+                       float_, get_devices)
+    from ..hpl import checkpoint as ckpt
+
+    mode = os.environ["HPL_RESILIENCE_MODE"]
+    ckpt_dir = os.environ["HPL_RESILIENCE_CKPT"]
+    n = int(os.environ["HPL_RESILIENCE_N"])
+    iters = int(os.environ["HPL_RESILIENCE_ITERS"])
+
+    if mode == "kill":
+        original = ckpt.CheckpointStore.save
+        state = {"calls": 0}
+
+        def killing_save(self, run_id, arrays, completed):
+            state["calls"] += 1
+            if state["calls"] == 3:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(self, run_id, arrays, completed)
+
+        ckpt.CheckpointStore.save = killing_save
+
+    kernel = _make_res_kernel(iters)
+    xs = _resilience_data(n)
+    cluster = Cluster(get_devices())
+    dx = DistributedArray(float_, n, cluster, data=xs)
+    dy = DistributedArray(float_, n, cluster)
+    result = cluster_eval(kernel, cluster, dy, dx, Float(0.5),
+                          schedule="dynamic", checkpoint=ckpt_dir,
+                          checkpoint_every=1,
+                          resume=(mode == "resume"))
+    out = dy.gather()
+    json.dump({"digest": hashlib.sha256(out.tobytes()).hexdigest(),
+               "checksum": float(out.sum()),
+               "resumed_blocks": result.failures.resumed_blocks,
+               "launches": len(result)}, sys.stdout)
+
+
+def _spawn_resilience_child(mode: str, ckpt_dir: str, n: int,
+                            iters: int):
+    import os
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    env = os.environ.copy()
+    env.pop("HPL_FAULTS", None)     # the children run fault-free
+    env.update({"HPL_RESILIENCE_MODE": mode,
+                "HPL_RESILIENCE_CKPT": str(ckpt_dir),
+                "HPL_RESILIENCE_N": str(n),
+                "HPL_RESILIENCE_ITERS": str(iters)})
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return subprocess.run(
+        [sys.executable, "-c",
+         "from repro.benchsuite.runner import _resilience_child as c; "
+         "c()"],
+        env=env, capture_output=True, text=True)
+
+
+def run_cluster_resilience(
+        n: int = 1 << 15, iters: int = 64, reps: int = 3,
+        output: str | None = "BENCH_cluster_resilience.json") -> dict:
+    """Deadline-aware watchdog, speculation, and checkpoint/resume.
+
+    Four legs, all running the same compute-bound partitioned kernel
+    on the paper's three-device mix under the dynamic scheduler:
+
+    * ``no-fault`` — the healthy baseline,
+    * ``straggler-unmitigated`` — the Quadro runs 1024x slow; dynamic
+      chunk sizing shrinks its share, but its minimum-size chunk still
+      pins the makespan orders of magnitude above the baseline,
+    * ``straggler-speculated`` — same fault with ``watchdog=True``:
+      the straggler's chunks are speculatively re-executed on a
+      predicted-faster device, the losers' event graphs cancelled
+      before any payload runs,
+    * ``kill-and-resume`` — a *subprocess* checkpointing every block
+      is SIGKILLed at its third snapshot; a second subprocess resumes
+      from the surviving snapshot and must produce bit-identical
+      results while skipping the completed blocks.
+
+    Each timed leg takes one unmeasured calibration warm-up iteration
+    (the watchdog is predictive — it speculates off the calibrated
+    throughput model) and then averages ``reps`` measured iterations.
+    CI gates on ``straggler_overhead_speculated <= 1.25``, on the
+    unmitigated leg actually showing a cliff, and on every leg's
+    digest matching the no-fault leg bit-for-bit.
+    """
+    import hashlib
+    import json
+    import signal as _signal
+    import tempfile
+
+    from ..hpl import (Cluster, DistributedArray, Float, calibration,
+                       cluster_eval, float_, get_devices, timeline_of)
+    from ..hpl import configure as hpl_configure
+
+    kernel = _make_res_kernel(iters)
+    xs = _resilience_data(n)
+    straggler = "device=Quadro kind=slow factor=1024; seed=5"
+
+    def one_iter(watchdog):
+        reset_runtime()
+        cluster = Cluster(get_devices())
+        dx = DistributedArray(float_, n, cluster, data=xs)
+        dy = DistributedArray(float_, n, cluster)
+        result = cluster_eval(kernel, cluster, dy, dx, Float(0.5),
+                              schedule="dynamic", watchdog=watchdog)
+        out = dy.gather()
+        return (timeline_of(result).makespan_seconds,
+                result.failures, out)
+
+    def leg(plan, watchdog):
+        calibration().reset()
+        hpl_configure(faults=plan)
+        try:
+            one_iter(watchdog)      # calibration warm-up, unmeasured
+            makespans, wins, out = [], 0, None
+            for _ in range(reps):
+                makespan, failures, out = one_iter(watchdog)
+                makespans.append(makespan)
+                wins += failures.speculative_wins
+        finally:
+            hpl_configure(faults=None)
+        return {
+            "makespan_seconds": sum(makespans) / len(makespans),
+            "speculative_wins": wins,
+            "checksum": float(out.sum()),
+            "digest": hashlib.sha256(out.tobytes()).hexdigest(),
+        }
+
+    legs = {
+        "no-fault": leg(None, None),
+        "straggler-unmitigated": leg(straggler, None),
+        "straggler-speculated": leg(straggler, True),
+    }
+
+    with tempfile.TemporaryDirectory(
+            prefix="hpl-resilience-ckpt-") as ckpt_dir:
+        first = _spawn_resilience_child("kill", ckpt_dir, n, iters)
+        if first.returncode != -_signal.SIGKILL:
+            raise RuntimeError(
+                f"kill-phase child should die by SIGKILL, exited "
+                f"{first.returncode}:\n{first.stderr}")
+        second = _spawn_resilience_child("resume", ckpt_dir, n, iters)
+        if second.returncode != 0:
+            raise RuntimeError(
+                f"resume child failed ({second.returncode}):\n"
+                f"{second.stderr}")
+        resumed = json.loads(second.stdout)
+    legs["kill-and-resume"] = {
+        "resumed_blocks": resumed["resumed_blocks"],
+        "launches_after_resume": resumed["launches"],
+        "checksum": resumed["checksum"],
+        "digest": resumed["digest"],
+    }
+
+    base = legs["no-fault"]["makespan_seconds"]
+    digest0 = legs["no-fault"]["digest"]
+    row = {
+        "n": n,
+        "iters": iters,
+        "reps": reps,
+        "schedule": "dynamic",
+        "legs": legs,
+        "straggler_overhead_unmitigated":
+            legs["straggler-unmitigated"]["makespan_seconds"] / base,
+        "straggler_overhead_speculated":
+            legs["straggler-speculated"]["makespan_seconds"] / base,
+        "speculation_wins":
+            legs["straggler-speculated"]["speculative_wins"],
+        "resumed_blocks": legs["kill-and-resume"]["resumed_blocks"],
+        "resume_bit_identical":
+            legs["kill-and-resume"]["digest"] == digest0,
+        "results_identical": bool(all(
+            leg_row["digest"] == digest0 for leg_row in legs.values())),
+        "checksum": legs["no-fault"]["checksum"],
+    }
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(row, fh, indent=2)
+        row["output"] = output
+    return row
+
+
 # -- command-line entry point -------------------------------------------------
 #
 # ``python -m repro.benchsuite [target ...] [--trace out.json] [--verbose]``
@@ -998,6 +1224,8 @@ def _cli_targets() -> dict:
         "cluster-lb": (run_cluster_lb, report.format_cluster_lb),
         "cluster-faults": (run_cluster_faults,
                            report.format_cluster_faults),
+        "cluster-resilience": (run_cluster_resilience,
+                               report.format_cluster_resilience),
         "table1": (run_table1, report.format_table1),
         "fig6": (run_fig6, report.format_fig6),
         "fig7": (run_fig7, report.format_fig7),
@@ -1018,10 +1246,12 @@ def _middle_end_meta() -> dict:
     to a backend and pipeline configuration."""
     from .. import trace
     from ..clc.passes import default_opt_level
+    from ..hpl.cluster import last_failure_summary
     from ..ocl.engines.base import default_engine
 
     counters = trace.get_registry().snapshot()["counters"]
     prefix, tprefix = "clc.pass_", "clc.pass_seconds_"
+    summary = last_failure_summary()
     return {
         "opt_level": default_opt_level(),
         "engine": default_engine(),
@@ -1030,6 +1260,7 @@ def _middle_end_meta() -> dict:
                       and not k.startswith(tprefix)},
         "pass_seconds": {k[len(tprefix):]: v for k, v in counters.items()
                          if k.startswith(tprefix)},
+        "failures": summary.as_dict() if summary is not None else None,
     }
 
 

@@ -150,6 +150,17 @@ class KernelLaunchError(CLError):
     code = "CL_KERNEL_LAUNCH_ERROR"
 
 
+class CommandCancelled(CLError):
+    """A deferred command was cancelled before its payload ran.
+
+    SimCL extension (real OpenCL cannot cancel enqueued commands):
+    surfaced as the ``CANCELLED`` event status by :meth:`Event.cancel`
+    and propagated — without running payloads — to every dependent
+    reached through ``wait_for=`` chains."""
+
+    code = "CL_COMMAND_CANCELLED"
+
+
 # ---------------------------------------------------------------------------
 # HPL layer (repro.hpl)
 # ---------------------------------------------------------------------------
@@ -178,3 +189,23 @@ class FaultPlanError(HPLError):
 class ClusterExecutionError(HPLError):
     """A cluster evaluation could not be completed even after recovery —
     typically every device in the cluster was quarantined."""
+
+
+class DeadlineExceeded(HPLError):
+    """``cluster_eval(deadline=)`` ran out of simulated time.
+
+    Carries the partial :class:`~repro.hpl.cluster.ClusterResult`
+    (``.result``) for the chunks that did finish and the run's
+    :class:`~repro.hpl.cluster.FailureSummary` (``.failures``), so a
+    caller can checkpoint or report progress instead of losing it."""
+
+    def __init__(self, message: str, result=None, failures=None) -> None:
+        super().__init__(message)
+        self.result = result
+        self.failures = failures
+
+
+class CheckpointError(HPLError):
+    """A cluster checkpoint could not be written, or a snapshot loaded
+    for ``resume=True`` is corrupt, truncated, or from an incompatible
+    checkpoint format version."""

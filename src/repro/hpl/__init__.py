@@ -23,11 +23,13 @@ invocation interface (§III-C).
 from .analysis import KernelInfo, analyze_kernel
 from .array import Array
 from .builder import KernelBuilder
+from .checkpoint import CheckpointStore
 from .cluster import (Cluster, ClusterResult, ClusterTimeline,
                       DistributedArray, DynamicScheduler, FailureSummary,
                       Partition, Scheduler, SCHEDULERS, UniformScheduler,
                       WeightedScheduler, calibration, cluster_eval,
-                      device_throughput, get_scheduler, timeline_of)
+                      device_throughput, get_scheduler,
+                      last_failure_summary, timeline_of)
 from .codegen import generate_source
 from .control import (break_, continue_, elif_, else_, endfor_, endif_,
                       endwhile_, for_, if_, return_, while_)
@@ -77,7 +79,8 @@ __all__ = [
     "configure", "KernelDiskCache",
     # multi-device cluster extension
     "Cluster", "ClusterResult", "ClusterTimeline", "DistributedArray",
-    "cluster_eval", "timeline_of", "FailureSummary",
+    "cluster_eval", "timeline_of", "FailureSummary", "CheckpointStore",
+    "last_failure_summary",
     # cluster scheduling policies
     "Scheduler", "UniformScheduler", "WeightedScheduler",
     "DynamicScheduler", "Partition", "SCHEDULERS", "get_scheduler",

@@ -30,6 +30,7 @@ one-host multi-GPU OpenCL program moves data.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
@@ -37,9 +38,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import trace
-from ..errors import (ClusterExecutionError, DeviceNotAvailable,
-                      DomainError, HPLError, OutOfResources)
+from ..errors import (ClusterExecutionError, DeadlineExceeded,
+                      DeviceNotAvailable, DomainError, HPLError,
+                      OutOfResources)
+from ..ocl.faults import active_plan
 from .array import Array
+from .checkpoint import CheckpointStore
 from .dtypes import HPLType
 from .evaluator import eval as hpl_eval
 from .runtime import HPLDevice, get_runtime
@@ -106,6 +110,18 @@ class Cluster:
                 "other device remains in the cluster")
         self.devices.remove(device)
         self.lost.append(device)
+
+    def readmit(self, device: HPLDevice) -> None:
+        """Return a quarantined device to the rotation.
+
+        Called by :func:`cluster_eval`'s probation path after a health
+        probe succeeds; no-op when the device was never quarantined.
+        The device rejoins at the end of the roster (its old rank may
+        have been reassigned while it was out)."""
+        if device not in self.lost:
+            return
+        self.lost.remove(device)
+        self.devices.append(device)
 
     def partition_bounds(self, n: int) -> list[tuple[int, int]]:
         """Contiguous block partition of ``n`` elements over the devices.
@@ -199,6 +215,17 @@ class CalibrationStore:
     def samples(self, kernel_name: str, device) -> int:
         return self._samples.get(
             (kernel_name, self._label_of(device)), 0)
+
+    def decay(self, kernel_name: str, device, factor: float) -> None:
+        """Scale the measured throughput down by ``factor``.
+
+        Used when a quarantined device is readmitted on probation: its
+        history predates the failure, so the estimate is discounted and
+        the device must re-earn its weight through fresh observations
+        (the EMA recovers in a few samples if it really is healthy)."""
+        key = (kernel_name, self._label_of(device))
+        if key in self._tput:
+            self._tput[key] *= factor
 
     def reset(self) -> None:
         self._tput.clear()
@@ -638,12 +665,37 @@ class FailureSummary:
     requeued_items: int = 0
     #: total simulated backoff delay injected into device clocks
     backoff_seconds: float = 0.0
+    #: straggler chunks won by a speculative duplicate (the original
+    #: launch was cancelled without running)
+    speculative_wins: int = 0
+    #: the run hit ``cluster_eval(deadline=)`` and was aborted
+    deadline_missed: bool = False
+    #: blocks restored from a checkpoint instead of recomputed
+    resumed_blocks: int = 0
+    #: labels of quarantined devices readmitted after a health probe
+    readmitted: list = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         """True when no fault touched the run."""
         return not (self.transient_failures or self.devices_lost
-                    or self.requeued_items)
+                    or self.requeued_items or self.speculative_wins
+                    or self.deadline_missed or self.resumed_blocks)
+
+    def as_dict(self) -> dict:
+        """JSON-friendly snapshot (benchsuite ``--json`` metadata)."""
+        return {
+            "transient_failures": self.transient_failures,
+            "retries": self.retries,
+            "devices_lost": list(self.devices_lost),
+            "requeued_items": self.requeued_items,
+            "backoff_seconds": self.backoff_seconds,
+            "speculative_wins": self.speculative_wins,
+            "deadline_missed": self.deadline_missed,
+            "resumed_blocks": self.resumed_blocks,
+            "readmitted": list(self.readmitted),
+            "clean": self.clean,
+        }
 
 
 class ClusterResult(list):
@@ -659,13 +711,47 @@ class ClusterResult(list):
         self.failures = failures
 
 
+#: the FailureSummary of the most recent cluster_eval in this process,
+#: recorded even when the run aborted (deadline, all devices lost)
+_LAST_SUMMARY: FailureSummary | None = None
+
+
+def last_failure_summary() -> FailureSummary | None:
+    """The :class:`FailureSummary` of the most recent
+    :func:`cluster_eval` (``None`` before the first one).  Recorded
+    even for aborted runs, so tooling — e.g. the benchsuite's
+    ``--json`` metadata — can report what recovery had to do."""
+    return _LAST_SUMMARY
+
+
 #: backoff doubles per attempt, capped at base * 2**_BACKOFF_CAP
 _BACKOFF_CAP = 3
 
 
-def _backoff_delay(base: float, attempt: int) -> float:
-    """Capped exponential backoff for retry ``attempt`` (0-based)."""
-    return base * (2 ** min(attempt, _BACKOFF_CAP))
+def _jitter(key: tuple) -> float:
+    """Deterministic uniform draw in [0, 1) for a retry site.
+
+    Derived by hashing the fault-plan seed (0 when no plan is active)
+    with the caller's key, so identical runs reproduce identical
+    delays bit-for-bit while distinct retry sites decorrelate."""
+    plan = active_plan()
+    seed = plan.seed if plan is not None else 0
+    token = hashlib.sha256(repr((seed,) + tuple(key)).encode()).digest()
+    return int.from_bytes(token[:8], "big") / 2.0 ** 64
+
+
+def _backoff_delay(base: float, attempt: int, key: tuple = ()) -> float:
+    """Capped exponential backoff for retry ``attempt`` (0-based).
+
+    With a ``key`` (device label, block bounds, attempt) the delay gets
+    deterministic *full jitter* — scaled by a seeded uniform draw in
+    (0, 1] — so simultaneous transient failures on multiple devices
+    retry staggered instead of in lockstep, while runs stay
+    bit-reproducible.  Without a key the delay is the bare cap."""
+    delay = base * (2 ** min(attempt, _BACKOFF_CAP))
+    if not key:
+        return delay
+    return delay * (1.0 - _jitter(key))
 
 
 def _failure_kind(error) -> str:
@@ -680,6 +766,218 @@ def _failure_kind(error) -> str:
     if isinstance(error, OutOfResources):
         return "transient"
     return "fatal"
+
+
+# -- resilience: watchdog, probation, deadline, checkpoint ----------------------
+
+
+class _Watchdog:
+    """Per-chunk expected-duration model driving speculative re-execution.
+
+    Built from the :class:`CalibrationStore` at run start: for every
+    device it snapshots the measured items/second of this kernel.  A
+    chunk is speculated when (a) its assigned device's calibrated
+    throughput trails the best healthy device's by more than ``factor``
+    and (b) some other device is predicted to *complete* the chunk —
+    queue drain included — more than ``factor`` times sooner.  The
+    second condition is what keeps a merely-slower device in a healthy
+    heterogeneous cluster un-speculated: its chunks are already sized
+    down by the scheduler, so rerouting them wins little, whereas a
+    genuine straggler's minimum-size chunk still takes orders of
+    magnitude longer than any peer would need.  First predicted
+    completion wins — decided on the model the way a real watchdog
+    decides on wall-clock observations.  Devices without calibration
+    history are never flagged (no expectation, no watchdog).
+    """
+
+    def __init__(self, kernel_name: str, devices, factor: float) -> None:
+        self.factor = float(factor)
+        self.tput = [_CALIBRATION.throughput(kernel_name, d.label)
+                     for d in devices]
+
+    def track(self, kernel_name: str, device) -> None:
+        """Register a device readmitted mid-run (appended rank)."""
+        self.tput.append(_CALIBRATION.throughput(kernel_name,
+                                                 device.label))
+
+    def pick(self, rank: int, size: int, active, avail_ns: int,
+             devices) -> int | None:
+        """Rank to speculatively duplicate a straggling chunk onto.
+
+        None when the chunk is within budget on its assigned device,
+        when no expectation exists, or when no healthy candidate is
+        predicted to finish before the assigned device would.
+        """
+        mine = self.tput[rank] if rank < len(self.tput) else None
+        if not mine:
+            return None
+        best = max((self.tput[r] for r in active
+                    if r < len(self.tput) and self.tput[r]), default=None)
+        if not best or mine * self.factor > best:
+            return None             # within budget of the best device
+        predicted_end = avail_ns + size / mine * 1e9
+        best_rank, best_end = None, predicted_end
+        for r in active:
+            if r == rank or r >= len(self.tput) or not self.tput[r]:
+                continue
+            start = max(int(devices[r].queue.clock * 1e9), avail_ns)
+            end = start + size / self.tput[r] * 1e9
+            if end < best_end:
+                best_rank, best_end = r, end
+        if best_rank is None:
+            return None
+        # the reroute must win by the same margin: time-to-completion
+        # measured from now, queue drain included
+        if (best_end - avail_ns) * self.factor > predicted_end - avail_ns:
+            return None
+        return best_rank
+
+
+@dataclass
+class _Resilience:
+    """Per-run resilience options + state shared by the runners."""
+
+    watchdog: _Watchdog | None = None
+    #: absolute cutoff on the simulated timeline (ns), or None
+    deadline_ns: int | None = None
+    store: CheckpointStore | None = None
+    #: snapshot after this many newly completed blocks
+    every: int = 1
+    run_id: dict | None = None
+    #: merged (lo, hi) ranges restored from a checkpoint
+    resumed: list = field(default_factory=list)
+    probation: bool = False
+    #: completed chunks between probe rounds (dynamic mode)
+    probe_interval: int = 4
+    #: calibration decay applied to a readmitted device
+    decay: float = 0.5
+    #: the run's deferred flag, applied to readmitted devices...
+    deferred: bool = True
+    #: ...and undone afterwards: (device, previous flag) pairs
+    restore: list = field(default_factory=list)
+
+
+def _merge_ranges(ranges) -> list:
+    """Sorted union of (lo, hi) ranges, adjacent/overlapping merged."""
+    merged: list = []
+    for lo, hi in sorted((int(lo), int(hi)) for lo, hi in ranges):
+        if hi <= lo:
+            continue
+        if merged and lo <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def _gaps(merged, n: int) -> list:
+    """The (lo, hi) ranges of [0, n) *not* covered by ``merged``."""
+    gaps = []
+    cursor = 0
+    for lo, hi in merged:
+        if lo > cursor:
+            gaps.append((cursor, lo))
+        cursor = max(cursor, hi)
+    if cursor < n:
+        gaps.append((cursor, n))
+    return gaps
+
+
+def _fully_covered(lo: int, hi: int, merged) -> bool:
+    """Is [lo, hi) entirely inside one merged restored range?"""
+    return any(mlo <= lo and hi <= mhi for mlo, mhi in merged)
+
+
+def _probe_device(device, kernel_name: str) -> bool:
+    """One health probe: a tiny marker launch, driven to a terminal
+    state.  True when the device completed it (fault plans fail probes
+    on devices that are still dead)."""
+    trace.get_registry().counter("cluster.probes").inc()
+    event = device.queue.enqueue_marker(wait_for=[])
+    event.drive()
+    healthy = event.is_complete
+    with trace.span("probe", category="cluster", kernel=kernel_name,
+                    device=device.label, healthy=healthy):
+        pass
+    return healthy
+
+
+def _readmit_lost(cluster, kernel_name: str, summary, res) -> list:
+    """Probe every quarantined device; readmit the healthy ones.
+
+    Readmitted devices come back with their calibration decayed (they
+    must re-earn their weight) and the run's deferred flag applied;
+    the flag is restored by ``cluster_eval``'s cleanup.  Returns the
+    readmitted devices.
+    """
+    registry = trace.get_registry()
+    revived = []
+    for device in list(cluster.lost):
+        if not _probe_device(device, kernel_name):
+            continue
+        cluster.readmit(device)
+        _CALIBRATION.decay(kernel_name, device.label, res.decay)
+        res.restore.append((device, device.deferred))
+        device.set_deferred(res.deferred)
+        summary.readmitted.append(device.label)
+        registry.counter("cluster.readmitted").inc()
+        with trace.span("recover", category="cluster", action="readmit",
+                        kernel=kernel_name, device=device.label,
+                        calibration_decay=res.decay):
+            pass
+        revived.append(device)
+    return revived
+
+
+def _sync_blocks(slot_parts: dict, completed) -> list:
+    """Drive d2h syncs for completed blocks; the blocks whose data
+    actually reached the host (a device dying between completion and
+    checkpoint drops its block, which then simply re-runs on resume)."""
+    good = []
+    for key in completed:
+        ok = True
+        for part in slot_parts.get(key, ()):
+            event = part.enqueue_host_sync()
+            if event is None:
+                continue
+            event.drive()
+            if event.is_failed:
+                ok = False
+        if ok:
+            good.append(key)
+    return good
+
+
+def _write_checkpoint(res: _Resilience, dist_args, slot_parts: dict,
+                      completed) -> None:
+    """Snapshot the host buffers + completed blocks atomically."""
+    good = _sync_blocks(slot_parts, sorted(completed))
+    with trace.span("checkpoint_write", category="cluster",
+                    blocks=len(good)) as sp:
+        written = res.store.save(res.run_id,
+                                 [a._full for a in dist_args], good)
+        sp.set_attr("bytes", written)
+    trace.get_registry().counter("cluster.checkpoint_bytes").inc(written)
+
+
+def _deadline_abort(res: _Resilience, summary, dist_args, slot_parts,
+                    completed, launches, end_ns: int) -> None:
+    """Hard timeout: checkpoint what finished, raise with the partial
+    result attached."""
+    summary.deadline_missed = True
+    trace.get_registry().counter("cluster.deadline_missed").inc()
+    if res.store is not None:
+        _write_checkpoint(res, dist_args, slot_parts, completed)
+    else:
+        _sync_blocks(slot_parts, sorted(completed))
+    partial = ClusterResult(
+        [result for _device, _partition, result in launches], summary)
+    budget_ns = res.deadline_ns if res.deadline_ns is not None else 0
+    raise DeadlineExceeded(
+        f"cluster_eval exceeded its deadline: simulated time reached "
+        f"{end_ns * 1e-9:.6f}s, budget ended at {budget_ns * 1e-9:.6f}s "
+        f"({len(launches)} block(s) completed)",
+        result=partial, failures=summary)
 
 
 def _reclaim_part(part, dead) -> bool:
@@ -746,7 +1044,8 @@ def _repartition_with_retries(dist_args, bounds, max_retries,
         except OutOfResources:
             if attempt >= max_retries:
                 raise
-            delay = _backoff_delay(backoff, attempt)
+            delay = _backoff_delay(backoff, attempt,
+                                   key=("repartition", attempt))
             attempt += 1
             summary.transient_failures += 1
             summary.retries += 1
@@ -758,8 +1057,26 @@ def _repartition_with_retries(dist_args, bounds, max_retries,
                 pass
 
 
+def _quarantine_last_chance(cluster, device, kernel_name, summary,
+                            res) -> None:
+    """Quarantine ``device``, probing the quarantined for readmission
+    first when that would otherwise empty the cluster.
+
+    The all-devices-lost path stays fatal only after every quarantined
+    device has also failed its readmission probe.
+    """
+    try:
+        cluster.quarantine(device)      # raises when nobody is left
+    except ClusterExecutionError:
+        if res is None or not res.probation \
+                or not _readmit_lost(cluster, kernel_name, summary, res):
+            raise
+        cluster.quarantine(device)      # a probe revived a survivor
+
+
 def _quarantine_and_requeue(kernel_name, cluster, dist_args, lost,
-                            max_retries, backoff, summary, done) -> list:
+                            max_retries, backoff, summary, done,
+                            res=None) -> list:
     """Quarantine dead devices and split their blocks over survivors.
 
     ``lost`` maps each dead device to the partitions that failed on it.
@@ -773,7 +1090,8 @@ def _quarantine_and_requeue(kernel_name, cluster, dist_args, lost,
     dead = []
     requeue_ranges = set()
     for device, partitions in lost:
-        cluster.quarantine(device)      # raises when nobody is left
+        _quarantine_last_chance(cluster, device, kernel_name, summary,
+                                res)
         dead.append(device)
         summary.devices_lost.append(device.label)
         registry.counter("cluster.device_lost").inc()
@@ -814,9 +1132,24 @@ def _quarantine_and_requeue(kernel_name, cluster, dist_args, lost,
     return new_work
 
 
+def _result_end_ns(result) -> int:
+    """Latest simulated completion stamp across one launch's events."""
+    return max((e.end_ns for e in result.events), default=0)
+
+
+def _static_slot_parts(dist_args, arr, keys) -> dict:
+    """(lo, hi) -> the partition Arrays of every distributed arg."""
+    slot_parts = {}
+    for key in keys:
+        index = arr.bounds.index(key)
+        slot_parts[key] = [a.parts[index] for a in dist_args
+                           if a.parts[index] is not None]
+    return slot_parts
+
+
 def _run_static(kernel, cluster, args, dist_args, partitions,
                 kernel_name: str, max_retries: int, backoff: float,
-                summary: FailureSummary) -> list:
+                summary: FailureSummary, res: _Resilience) -> list:
     """One launch per non-empty partition on its assigned device.
 
     Launches proceed in waves: every outstanding block is launched
@@ -825,12 +1158,24 @@ def _run_static(kernel, cluster, args, dist_args, partitions,
     one fails.  Transient failures re-enter the next wave on the same
     device after a simulated-clock backoff; permanent ones quarantine
     the device and split its blocks over the survivors.
+
+    Partitions lying entirely inside checkpoint-restored ranges are
+    skipped (their host data already holds the computed values); after
+    each wave the completed blocks are snapshotted when checkpointing
+    is on, and the deadline — if one was set — is enforced against the
+    wave's latest simulated completion stamp.
     """
     arr = dist_args[0]
-    work = [(p, cluster.devices[p.rank])
-            for p in partitions if p.size > 0]
+    work = []
+    for p in partitions:
+        if p.size <= 0:
+            continue
+        if res.resumed and _fully_covered(p.lo, p.hi, res.resumed):
+            continue            # restored from checkpoint: nothing to do
+        work.append((p, cluster.devices[p.rank]))
     done: dict = {}             # (lo, hi) -> (device, partition, result)
     attempts: dict = {}         # (lo, hi) -> transient retries used
+    unsaved = 0                 # completions since the last snapshot
     while work:
         wave = []
         for partition, device in work:
@@ -861,6 +1206,7 @@ def _run_static(kernel, cluster, args, dist_args, partitions,
                 failed = result.failed_event
                 if failed is None:
                     done[key] = (device, partition, result)
+                    unsaved += 1
                     continue
                 error = failed.error
             kind = _failure_kind(error)
@@ -869,7 +1215,9 @@ def _run_static(kernel, cluster, args, dist_args, partitions,
             used = attempts.get(key, 0)
             if kind == "transient" and used < max_retries:
                 attempts[key] = used + 1
-                delay = _backoff_delay(backoff, used)
+                delay = _backoff_delay(
+                    backoff, used,
+                    key=(device.label, partition.lo, partition.hi, used))
                 device.queue.clock += delay
                 summary.transient_failures += 1
                 summary.retries += 1
@@ -885,13 +1233,30 @@ def _run_static(kernel, cluster, args, dist_args, partitions,
         if lost:
             work.extend(_quarantine_and_requeue(
                 kernel_name, cluster, dist_args, list(lost.values()),
-                max_retries, backoff, summary, done))
-    return [done[(lo, hi)] for lo, hi in arr.bounds if hi > lo]
+                max_retries, backoff, summary, done, res=res))
+        completed = list(res.resumed) + sorted(done)
+        if res.store is not None and unsaved >= res.every:
+            _write_checkpoint(res, dist_args,
+                              _static_slot_parts(dist_args, arr, done),
+                              completed)
+            unsaved = 0
+        if res.deadline_ns is not None and done:
+            end_ns = max(_result_end_ns(r) for _d, _p, r in done.values())
+            if end_ns > res.deadline_ns:
+                _deadline_abort(res, summary, dist_args,
+                                _static_slot_parts(dist_args, arr, done),
+                                completed, list(done.values()), end_ns)
+    if res.store is not None and unsaved:
+        _write_checkpoint(res, dist_args,
+                          _static_slot_parts(dist_args, arr, done),
+                          list(res.resumed) + sorted(done))
+    return [done[(lo, hi)] for lo, hi in arr.bounds
+            if hi > lo and (lo, hi) in done]
 
 
 def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
                  kernel_name: str, max_retries: int, backoff: float,
-                 summary: FailureSummary) -> list:
+                 summary: FailureSummary, res: _Resilience) -> list:
     """On-demand chunk dispatch: each chunk goes to the device whose
     event graph drains first on the simulated timeline.
 
@@ -913,6 +1278,14 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
     The DistributedArray arguments end up partitioned along the chunk
     bounds (their host copies refreshed first, so the chunk views read
     current data); ``gather`` works on the chunk layout as usual.
+
+    The resilience layer hooks in here too: checkpoint-restored ranges
+    become ready-made blocks that are never recomputed, the watchdog
+    speculatively re-executes chunks predicted to straggle (cancelling
+    the loser's event graph before it runs), quarantined devices are
+    probed for readmission between chunks, completed blocks are
+    snapshotted, and the deadline is enforced on every chunk
+    completion stamp.
     """
     devices = list(cluster.devices)     # stable ranks across quarantine
     active = set(range(len(devices)))
@@ -927,36 +1300,85 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
         a._sync_parts()
     bounds: list[tuple[int, int]] = []
     new_parts: dict = {id(a): [] for a in dist_args}
+    for rlo, rhi in res.resumed:        # checkpoint-restored blocks
+        bounds.append((rlo, rhi))
+        for a in dist_args:
+            new_parts[id(a)].append(
+                Array(a.dtype, rhi - rlo, data=a._full[rlo:rhi]))
+    segments: deque = deque([lo, hi] for lo, hi in _gaps(res.resumed, n))
+    remaining = sum(hi - lo for lo, hi in segments)
     ready = [(int(d.queue.clock * 1e9), rank)
              for rank, d in enumerate(devices)]
     heapq.heapify(ready)
     slot_result: dict = {}      # slot -> (device, partition, result)
+    slot_parts: dict = {}       # (lo, hi) -> parts, for checkpoint sync
     attempts: dict = {}         # slot -> transient retries used
     requeue: deque = deque()    # slots waiting to be re-run
-    lo = 0
-    while lo < n or requeue:
+    unsaved = 0                 # completions since the last snapshot
+    since_probe = 0             # completions since the last probe round
+
+    def _integrate(dev, at_ns: int) -> None:
+        """Fold a readmitted device into the ranks/weights/heap."""
+        if dev in devices:
+            r = devices.index(dev)
+        else:
+            devices.append(dev)
+            weights.append(device_throughput(dev.ocl.spec))
+            if res.watchdog is not None:
+                res.watchdog.track(kernel_name, dev)
+            r = len(devices) - 1
+        if r not in active:
+            active.add(r)
+            heapq.heappush(ready, (at_ns, r))
+
+    def _completed_bounds() -> list:
+        return list(res.resumed) + sorted(
+            bounds[s] for s in slot_result)
+
+    def _completed_launches() -> list:
+        return [slot_result[s] for s in sorted(slot_result)]
+
+    while remaining or requeue:
+        if res.probation and cluster.lost \
+                and since_probe >= res.probe_interval:
+            since_probe = 0
+            frontier_ns = ready[0][0] if ready else 0
+            revived = _readmit_lost(cluster, kernel_name, summary, res)
+            for dev in revived:
+                _integrate(dev, frontier_ns)
+            if revived:
+                total_w = sum(weights[r] for r in active)
         while True:
             if not ready:
                 raise ClusterExecutionError(
                     "no device left to serve the remaining work")
-            _avail_ns, rank = heapq.heappop(ready)
+            avail_ns, rank = heapq.heappop(ready)
             if rank in active:
                 break
+        if res.deadline_ns is not None and avail_ns > res.deadline_ns:
+            _deadline_abort(res, summary, dist_args, slot_parts,
+                            _completed_bounds(), _completed_launches(),
+                            avail_ns)
         device = devices[rank]
         if requeue:                     # serve lost chunks first
             slot = requeue.popleft()
             slo, shi = bounds[slot]
         else:
-            size = scheduler.next_chunk(n - lo, len(active),
+            seg = segments[0]
+            size = scheduler.next_chunk(remaining, len(active),
                                         weights[rank] / total_w,
                                         min_chunk)
+            size = min(size, seg[1] - seg[0])
             slot = len(bounds)
-            slo, shi = lo, lo + size
+            slo, shi = seg[0], seg[0] + size
             bounds.append((slo, shi))
             for a in dist_args:
                 new_parts[id(a)].append(
                     Array(a.dtype, size, data=a._full[slo:shi]))
-            lo = shi
+            seg[0] += size
+            if seg[0] >= seg[1]:
+                segments.popleft()
+            remaining -= size
         local = []
         for a in args:
             if isinstance(a, DistributedArray):
@@ -967,6 +1389,54 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
         local.append(Int(shi - slo))
         partition = Partition(slo, shi, rank)
         _check_broadcast_writes(kernel, args, local)
+        # watchdog: when the calibration model predicts this device
+        # would straggle past ``factor`` times the best device's
+        # expected duration AND some other device is predicted to
+        # finish the chunk *sooner*, duplicate the chunk there.  First
+        # (predicted) completion wins; the loser's event graph is
+        # cancelled before any payload runs, so its buffers are never
+        # touched — a real watchdog makes the same call from wall-clock
+        # observations, ours makes it from the model the observations
+        # would feed.
+        spec_origin = None
+        if res.watchdog is not None:
+            target = res.watchdog.pick(rank, shi - slo, active,
+                                       avail_ns, devices)
+            if target is not None:
+                with trace.span("watchdog", category="cluster",
+                                kernel=kernel_name,
+                                device=device.label, chunk=slot,
+                                lo=slo, hi=shi,
+                                factor=res.watchdog.factor):
+                    doomed = None
+                    try:
+                        doomed = hpl_eval(kernel).global_(shi - slo) \
+                            .device(device)(*local)
+                    except (DeviceNotAvailable, OutOfResources):
+                        pass        # abandoning this device anyway
+                cancelled = 0
+                if doomed is not None:
+                    for e in doomed.events:
+                        e.cancel()
+                    cancelled = sum(1 for e in doomed.events
+                                    if e.is_cancelled)
+                # sweep coherence commands a partially-built graph may
+                # have left pending on the loser's queue
+                cancelled += device.queue.cancel_pending()
+                registry.counter("cluster.cancelled_events").inc(
+                    cancelled)
+                registry.counter("cluster.speculative_launches").inc()
+                with trace.span("speculate", category="cluster",
+                                kernel=kernel_name, chunk=slot,
+                                lo=slo, hi=shi,
+                                from_device=device.label,
+                                to_device=devices[target].label,
+                                cancelled_events=cancelled):
+                    pass
+                spec_origin = rank
+                rank = target
+                device = devices[rank]
+                partition = Partition(slo, shi, rank)
         # attempt loop: transient failures retry on the SAME device —
         # guided chunks are sized for the device that requested them,
         # so migrating a large chunk to a slower survivor would turn a
@@ -1000,7 +1470,8 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
                     summary.transient_failures += 1     # as dead
                 break
             attempts[slot] = used + 1
-            delay = _backoff_delay(backoff, used)
+            delay = _backoff_delay(backoff, used,
+                                   key=(device.label, slo, shi, used))
             device.queue.clock += delay
             summary.transient_failures += 1
             summary.retries += 1
@@ -1009,6 +1480,14 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
         if error is None:
             event = result.kernel_event
             heapq.heappush(ready, (event.end_ns, rank))
+            if spec_origin is not None:
+                # the speculated copy won; the origin is free again at
+                # the winner's completion stamp (a real watchdog kills
+                # the loser the moment the winner reports)
+                summary.speculative_wins += 1
+                registry.counter("cluster.speculation_wins").inc()
+                if spec_origin in active:
+                    heapq.heappush(ready, (event.end_ns, spec_origin))
             registry.counter("cluster.chunks_dispatched").inc()
             registry.counter("cluster.chunk_items").inc(partition.size)
             registry.counter(f"cluster.chunks[{device.label}]").inc()
@@ -1018,8 +1497,32 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
             registry.histogram("cluster.chunk_seconds").observe(
                 event.duration)
             slot_result[slot] = (device, partition, result)
+            slot_parts[(slo, shi)] = [new_parts[id(a)][slot]
+                                      for a in dist_args]
+            since_probe += 1
+            unsaved += 1
+            if res.deadline_ns is not None \
+                    and event.end_ns > res.deadline_ns:
+                _deadline_abort(res, summary, dist_args, slot_parts,
+                                _completed_bounds(),
+                                _completed_launches(), event.end_ns)
+            if res.store is not None and unsaved >= res.every:
+                unsaved = 0
+                _write_checkpoint(res, dist_args, slot_parts,
+                                  _completed_bounds())
             continue
-        cluster.quarantine(device)      # raises when nobody is left
+        if spec_origin is not None and spec_origin in active:
+            heapq.heappush(ready, (avail_ns, spec_origin))
+        try:
+            cluster.quarantine(device)  # raises when nobody is left
+        except ClusterExecutionError:
+            revived = (_readmit_lost(cluster, kernel_name, summary, res)
+                       if res.probation else [])
+            if not revived:
+                raise
+            for dev in revived:
+                _integrate(dev, avail_ns)
+            cluster.quarantine(device)
         active.discard(rank)
         total_w = sum(weights[r] for r in active)
         summary.devices_lost.append(device.label)
@@ -1051,15 +1554,24 @@ def _run_dynamic(kernel, cluster, args, dist_args, scheduler,
             for a in dist_args:
                 _reclaim_part(new_parts[id(a)][slot], {device})
             requeue.extend(requeued)
+    if res.store is not None and unsaved:
+        _write_checkpoint(res, dist_args, slot_parts,
+                          _completed_bounds())
+    # install sorted by block start so gather order matches index order
+    # whatever mix of fresh and checkpoint-restored blocks produced it
+    order = sorted(range(len(bounds)), key=lambda s: bounds[s])
     for a in dist_args:
-        a.bounds = bounds
-        a.parts = new_parts[id(a)]
-    return [slot_result[s] for s in range(len(bounds))]
+        a.bounds = [bounds[s] for s in order]
+        a.parts = [new_parts[id(a)][s] for s in order]
+    return [slot_result[s] for s in order if s in slot_result]
 
 
 def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
                  schedule=None, max_retries: int = 3,
-                 backoff: float = 1e-4):
+                 backoff: float = 1e-4, watchdog=None, deadline=None,
+                 checkpoint=None, checkpoint_every: int = 1,
+                 resume: bool = False, probation: bool = False,
+                 probe_interval: int = 4, probation_decay: float = 0.5):
     """Evaluate ``kernel`` once per partition, owner-computes style.
 
     ``kernel`` is an ordinary HPL kernel function whose **last two
@@ -1094,6 +1606,24 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
     from the cluster and its blocks re-run on the survivors.  When no
     device survives, :class:`~repro.errors.ClusterExecutionError` is
     raised.
+
+    The resilience layer (see ``docs/resilience.md``) is opt-in:
+
+    - ``watchdog`` (``True`` for the default 4x slow-factor, or a
+      number) speculatively re-executes chunks the calibration model
+      predicts to straggle past ``slow_factor x`` the best device's
+      expected duration — dynamic schedules in deferred mode only.
+      The loser's event graph is *cancelled* before any payload runs.
+    - ``deadline`` (simulated seconds) raises
+      :class:`~repro.errors.DeadlineExceeded` — carrying the partial
+      result — once any completion stamp passes the budget.
+    - ``checkpoint`` (a directory) snapshots host buffers + completed
+      blocks every ``checkpoint_every`` block completions;
+      ``resume=True`` restores a matching snapshot and skips the
+      completed blocks, bit-identically.
+    - ``probation=True`` probes quarantined devices every
+      ``probe_interval`` completed chunks and readmits the healthy
+      ones with their calibration decayed by ``probation_decay``.
 
     Returns a :class:`ClusterResult` — a list of the per-partition
     :class:`EvalResult` objects (all complete by return), in partition
@@ -1136,6 +1666,38 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
         partitions = [Partition(lo, hi, rank) for rank, (lo, hi)
                       in enumerate(dist_args[0].bounds)]
 
+    res = _Resilience(every=max(1, int(checkpoint_every)),
+                      probation=bool(probation),
+                      probe_interval=max(1, int(probe_interval)),
+                      decay=float(probation_decay), deferred=deferred)
+    if watchdog and dynamic and deferred:
+        factor = 4.0 if watchdog is True else float(watchdog)
+        res.watchdog = _Watchdog(kernel_name, cluster.devices, factor)
+    if deadline is not None:
+        start_ns = min(int(d.queue.clock * 1e9)
+                       for d in cluster.devices)
+        res.deadline_ns = start_ns + int(float(deadline) * 1e9)
+    if checkpoint is not None:
+        res.store = CheckpointStore(checkpoint)
+        res.run_id = {"kernel": kernel_name, "n": int(n),
+                      "arrays": [str(a.dtype) for a in dist_args]}
+        if resume:
+            with trace.span("checkpoint_load", category="cluster",
+                            kernel=kernel_name) as sp:
+                loaded = res.store.load(res.run_id)
+                if loaded is not None:
+                    snaps, completed = loaded
+                    merged = _merge_ranges(completed)
+                    for a, snap in zip(dist_args, snaps):
+                        for rlo, rhi in merged:
+                            a._full[rlo:rhi] = snap[rlo:rhi]
+                        a.scatter(a._full)
+                    res.resumed = merged
+                    summary.resumed_blocks = len(completed)
+                    trace.get_registry().counter(
+                        "cluster.resumed_blocks").inc(len(completed))
+                sp.set_attr("blocks", summary.resumed_blocks)
+
     # snapshot: quarantine mutates cluster.devices mid-run, and the
     # deferred flag must be restored on lost devices too
     devices = list(cluster.devices)
@@ -1143,6 +1705,8 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
     if deferred:
         for d in devices:
             d.set_deferred(True)
+    global _LAST_SUMMARY
+    _LAST_SUMMARY = summary
     try:
         if dynamic:
             with trace.span("cluster_schedule", category="cluster",
@@ -1150,12 +1714,18 @@ def cluster_eval(kernel, cluster: Cluster, *args, deferred: bool = True,
                             n=n, devices=len(cluster)):
                 launches = _run_dynamic(kernel, cluster, args, dist_args,
                                         scheduler, kernel_name,
-                                        max_retries, backoff, summary)
+                                        max_retries, backoff, summary,
+                                        res)
         else:
             launches = _run_static(kernel, cluster, args, dist_args,
                                    partitions, kernel_name, max_retries,
-                                   backoff, summary)
+                                   backoff, summary, res)
     finally:
+        # readmitted devices first (they may not be in the snapshot),
+        # then the snapshot, which is authoritative for devices that
+        # were present when the run started
+        for device, was_deferred in res.restore:
+            device.set_deferred(was_deferred)
         for device, was_deferred in zip(devices, previous):
             device.set_deferred(was_deferred)
     _record_calibration(kernel_name, launches)

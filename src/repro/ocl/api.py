@@ -57,6 +57,10 @@ class command_status(IntEnum):
     DEVICE_NOT_AVAILABLE = -2
     #: transient resource exhaustion (``CL_OUT_OF_RESOURCES``)
     OUT_OF_RESOURCES = -5
+    #: the command was cancelled before it ran (SimCL extension — real
+    #: OpenCL has no cancellation, so this uses a code outside the
+    #: spec's range; negative so ``is_failed`` machinery composes)
+    CANCELLED = -999
 
 
 class queue_properties(IntFlag):

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import trace
 from ..errors import (CLError, ProfilingDisabledError,
                       ProfilingInfoNotAvailable)
 from .api import command_status, command_type
@@ -86,6 +87,12 @@ class Event:
         return int(self.status) < 0
 
     @property
+    def is_cancelled(self) -> bool:
+        """True when the command was cancelled before its payload ran
+        (directly via :meth:`cancel`, or through a cancelled dependency)."""
+        return self.status is command_status.CANCELLED
+
+    @property
     def profile_start(self) -> int:
         self._check()
         return self.start_ns
@@ -116,16 +123,25 @@ class Event:
         immediately.
         """
         if self.status is command_status.COMPLETE or self.is_failed:
-            fn(self)
+            self._safe_call(fn)
         else:
             self._callbacks.append(fn)
         return self
+
+    def _safe_call(self, fn) -> None:
+        """Run one callback; a raising callback must not corrupt queue
+        processing (``clSetEventCallback`` callbacks cannot propagate
+        errors either), so swallow and count it."""
+        try:
+            fn(self)
+        except Exception:
+            trace.get_registry().counter("simcl.callback_errors").inc()
 
     def _fire_callbacks(self) -> None:
         self._queue = None
         callbacks, self._callbacks = self._callbacks, []
         for fn in callbacks:
-            fn(self)
+            self._safe_call(fn)
 
     def _complete(self) -> None:
         """Transition to COMPLETE and fire callbacks (queue-internal)."""
@@ -137,7 +153,25 @@ class Event:
         """Terminate abnormally and fire callbacks (queue-internal)."""
         self.status = status
         self.error = error
+        if status is command_status.CANCELLED:
+            trace.get_registry().counter("simcl.cancelled_events").inc()
         self._fire_callbacks()
+
+    def cancel(self) -> bool:
+        """Cancel a still-QUEUED deferred command before it runs.
+
+        Returns True when this event transitioned to CANCELLED — its
+        payload will never run, its buffers stay untouched, and every
+        pending dependent on the same queue is cancelled with it
+        (dependents on *other* queues are abandoned the moment they are
+        driven, exactly like dependents of a failed command).  Returns
+        False when the command already reached a terminal state or ran
+        eagerly — cancellation cannot rewind executed work.
+        """
+        if self.status is not command_status.QUEUED or self._queue is None:
+            return False
+        self._queue._cancel(self)
+        return True
 
     def drive(self) -> "Event":
         """Execute the command without raising on failure.

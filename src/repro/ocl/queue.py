@@ -40,7 +40,8 @@ import itertools
 import numpy as np
 
 from .. import trace
-from ..errors import InvalidProgramExecutable, InvalidValue
+from ..errors import (CommandCancelled, InvalidProgramExecutable,
+                      InvalidValue)
 from .api import command_status, command_type, queue_properties
 from .buffer import Buffer
 from .context import Context
@@ -198,6 +199,46 @@ class CommandQueue:
             return
         self._pending.remove(cmd)
         self._execute(cmd.event, cmd.payload, cmd.attrs, cmd.trace_parent)
+
+    def _cancel(self, event: Event) -> None:
+        """Tear down one pending command and its pending dependents.
+
+        The command's payload never runs (so device buffers and host
+        memory are untouched) and its event terminates with the
+        CANCELLED status, firing callbacks exactly like a failure — so
+        coherence rollback installed by the HPL layer still happens.
+        Same-queue dependents are swept eagerly; dependents recorded on
+        other queues are abandoned lazily, by the failed-dependency
+        check in :meth:`_execute`, the moment anything drives them.
+        """
+        cmd = self._command_of(event)
+        if cmd is None:
+            return
+        self._pending.remove(cmd)
+        event._fail(command_status.CANCELLED, CommandCancelled(
+            f"{event.command.name} cancelled before execution on "
+            f"{self.device.label}"))
+        swept = True
+        while swept:
+            swept = False
+            for cmd in list(self._pending):
+                if any(d.is_cancelled for d in cmd.event.wait_list):
+                    self._pending.remove(cmd)
+                    cmd.event._fail(
+                        command_status.CANCELLED, CommandCancelled(
+                            f"{cmd.event.command.name} depends on a "
+                            f"cancelled command"))
+                    swept = True
+
+    def cancel_pending(self) -> int:
+        """Cancel every still-recorded command on this queue; returns
+        how many events were cancelled (dependents included)."""
+        cancelled = 0
+        while self._pending:
+            before = len(self._pending)
+            self._cancel(self._pending[-1].event)
+            cancelled += before - len(self._pending)
+        return cancelled
 
     def _schedule_next(self) -> _Command:
         """The pending command to run next.

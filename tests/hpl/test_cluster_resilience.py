@@ -1,0 +1,404 @@
+"""Deadline watchdog, speculation, checkpoint/resume, probation.
+
+The resilience invariant mirrors the fault-tolerance one: whatever the
+watchdog speculates, the deadline aborts, or a resume skips, the final
+gathered results are bit-identical to the fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+import numpy as np
+import pytest
+
+import repro.hpl as hpl
+from repro import trace
+from repro.errors import (CheckpointError, ClusterExecutionError,
+                          CLError, DeadlineExceeded)
+from repro.hpl import CheckpointStore, Float, calibration, cluster_eval, float_
+from repro.hpl.cluster import Cluster, DistributedArray, _backoff_delay
+from repro.ocl import faults
+from repro.ocl.platform import reset_platform_devices
+
+N = 20000
+STRAGGLER = "device=Quadro kind=slow factor=1024"
+
+
+@pytest.fixture(autouse=True)
+def _fresh(fresh_runtime):
+    calibration().reset()
+    faults.configure(None)
+    yield
+    faults.configure(None)
+    calibration().reset()
+    reset_platform_devices()
+    hpl.reset_runtime()
+
+
+def saxpy_part(y, x, a, offset, count):
+    y[hpl.idx] = a * x[hpl.idx] + y[hpl.idx]
+
+
+def _problem(cluster, n=N, seed=11):
+    rng = np.random.default_rng(seed)
+    xd = rng.random(n).astype(np.float32)
+    yd = rng.random(n).astype(np.float32)
+    x = DistributedArray(float_, n, cluster, data=xd)
+    y = DistributedArray(float_, n, cluster, data=yd)
+    return (y, x, Float(2.0)), yd
+
+
+def _expected(n=N, seed=11):
+    faults.configure(None)
+    hpl.reset_runtime()
+    c = Cluster(hpl.get_devices())
+    args, _ = _problem(c, n, seed)
+    cluster_eval(saxpy_part, c, *args)
+    out = args[0].gather()
+    hpl.reset_runtime()
+    return out
+
+
+def _run(plan, schedule, n=N, **kwargs):
+    hpl.reset_runtime()
+    faults.configure(plan)
+    c = Cluster(hpl.get_devices())
+    args, _ = _problem(c, n)
+    result = cluster_eval(saxpy_part, c, *args, schedule=schedule,
+                          **kwargs)
+    out = args[0].gather()
+    faults.configure(None)
+    return out, result, c
+
+
+class TestSeededJitter:
+    """Satellite: deterministic full jitter on the retry backoff."""
+
+    def test_keyless_delays_are_the_legacy_exact_values(self):
+        assert _backoff_delay(1e-4, 0) == pytest.approx(1e-4)
+        assert _backoff_delay(1e-4, 1) == pytest.approx(2e-4)
+
+    def test_keyed_delay_is_jittered_but_positive(self):
+        plain = _backoff_delay(1e-4, 1)
+        jittered = _backoff_delay(1e-4, 1, key=("dev", 0, 100, 1))
+        assert 0 < jittered <= plain
+        assert jittered != plain
+
+    def test_jitter_is_reproducible_per_plan_seed(self):
+        key = ("SimCL Tesla#0", 0, 500, 2)
+        faults.configure("device=Nothing kind=slow factor=1; seed=7")
+        first = _backoff_delay(1e-4, 2, key=key)
+        assert _backoff_delay(1e-4, 2, key=key) == first
+        faults.configure("device=Nothing kind=slow factor=1; seed=8")
+        other = _backoff_delay(1e-4, 2, key=key)
+        assert other != first
+        faults.configure("device=Nothing kind=slow factor=1; seed=7")
+        assert _backoff_delay(1e-4, 2, key=key) == first
+
+    def test_different_keys_decorrelate(self):
+        a = _backoff_delay(1e-4, 1, key=("dev", 0, 100, 1))
+        b = _backoff_delay(1e-4, 1, key=("dev", 100, 200, 1))
+        assert a != b
+
+
+def _warm_then_run(schedule="dynamic", plan=STRAGGLER, **kwargs):
+    """One calibration warm-up run under ``plan``, then a measured one.
+
+    The watchdog is predictive: it needs the calibration history the
+    warm-up records before it can flag the straggler.
+    """
+    faults.configure(plan)
+    hpl.reset_runtime()
+    c = Cluster(hpl.get_devices())
+    args, _ = _problem(c)
+    cluster_eval(saxpy_part, c, *args, schedule=schedule)
+    hpl.reset_runtime()
+    c = Cluster(hpl.get_devices())
+    args, _ = _problem(c)
+    result = cluster_eval(saxpy_part, c, *args, schedule=schedule,
+                          **kwargs)
+    out = args[0].gather()
+    faults.configure(None)
+    return out, result
+
+
+class TestWatchdogSpeculation:
+    def test_straggler_chunks_are_speculated_and_results_exact(self):
+        registry = trace.get_registry()
+        launches0 = registry.counter(
+            "cluster.speculative_launches").value
+        wins0 = registry.counter("cluster.speculation_wins").value
+        cancelled0 = registry.counter("cluster.cancelled_events").value
+        out, result = _warm_then_run(watchdog=True)
+        f = result.failures
+        assert f.speculative_wins > 0
+        assert not f.clean
+        assert registry.counter(
+            "cluster.speculative_launches").value > launches0
+        assert registry.counter(
+            "cluster.speculation_wins").value > wins0
+        # the losers' event graphs really were torn down
+        assert registry.counter(
+            "cluster.cancelled_events").value > cancelled0
+        assert np.array_equal(out, _expected())
+
+    def test_without_watchdog_no_speculation_happens(self):
+        registry = trace.get_registry()
+        before = registry.counter("cluster.speculative_launches").value
+        out, result = _warm_then_run(watchdog=None)
+        assert result.failures.speculative_wins == 0
+        assert registry.counter(
+            "cluster.speculative_launches").value == before
+        assert np.array_equal(out, _expected())
+
+    def test_watchdog_on_a_healthy_cluster_never_fires(self):
+        out, result = _warm_then_run(plan=None, watchdog=True)
+        assert result.failures.speculative_wins == 0
+        assert result.failures.clean
+        assert np.array_equal(out, _expected())
+
+    @pytest.mark.parametrize("engine", ["serial", "vector", "jit"])
+    def test_cancelled_losers_never_mutate_buffers(self, engine):
+        # differential: with speculation firing, every engine must
+        # produce bits identical to its own fault-free run — if a
+        # cancelled loser's payload ever ran, the double-execute would
+        # corrupt the accumulating y
+        hpl.configure(engine=engine)
+        try:
+            expected = _expected()
+            calibration().reset()
+            out, result = _warm_then_run(watchdog=True)
+            assert result.failures.speculative_wins > 0
+            assert np.array_equal(out, expected)
+        finally:
+            hpl.configure(engine=None)
+
+
+class TestDeadline:
+    def test_tight_deadline_raises_with_partial_result(self):
+        with pytest.raises(DeadlineExceeded) as info:
+            _run(None, "dynamic", deadline=1e-6)
+        exc = info.value
+        assert exc.failures.deadline_missed
+        assert not exc.failures.clean
+        assert exc.result is not None
+        _out, full, _c = _run(None, "dynamic")
+        assert len(exc.result) < len(full)          # partial, not full
+
+    @pytest.mark.parametrize("schedule", ["uniform", "dynamic"])
+    def test_generous_deadline_never_fires(self, schedule):
+        out, result, _c = _run(None, schedule, deadline=1e3)
+        assert not result.failures.deadline_missed
+        assert result.failures.clean
+        assert np.array_equal(out, _expected())
+
+
+class TestCheckpointResume:
+    @pytest.mark.parametrize("schedule", ["dynamic", "weighted"])
+    def test_deadline_abort_then_resume_is_bit_identical(
+            self, schedule, tmp_path):
+        with pytest.raises(DeadlineExceeded):
+            _run(None, schedule, checkpoint=tmp_path,
+                 checkpoint_every=1, deadline=1e-6)
+        out, result, _c = _run(None, schedule, checkpoint=tmp_path,
+                               resume=True)
+        assert result.failures.resumed_blocks > 0
+        assert not result.failures.clean
+        assert np.array_equal(out, _expected())
+
+    def test_resume_of_a_complete_run_computes_nothing(self, tmp_path):
+        _run(None, "dynamic", checkpoint=tmp_path)
+        out, result, _c = _run(None, "dynamic", checkpoint=tmp_path,
+                               resume=True)
+        assert len(result) == 0             # every block was restored
+        assert result.failures.resumed_blocks > 0
+        assert np.array_equal(out, _expected())
+
+    def test_checkpoint_bytes_metric_and_clean_flag(self, tmp_path):
+        registry = trace.get_registry()
+        before = registry.counter("cluster.checkpoint_bytes").value
+        _out, result, _c = _run(None, "dynamic", checkpoint=tmp_path)
+        assert registry.counter(
+            "cluster.checkpoint_bytes").value > before
+        assert result.failures.clean        # checkpointing is not a fault
+
+    def test_foreign_snapshot_is_ignored_not_resumed(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"kernel": "someone_else", "n": 3,
+                    "arrays": ["float32"]},
+                   [np.zeros(3, np.float32)], [(0, 3)])
+        out, result, _c = _run(None, "dynamic", checkpoint=tmp_path,
+                               resume=True)
+        assert result.failures.resumed_blocks == 0
+        assert np.array_equal(out, _expected())
+
+    def test_corrupt_blob_raises_checkpoint_error(self, tmp_path):
+        _run(None, "dynamic", checkpoint=tmp_path)
+        # corrupt a blob the final manifest references (the objects/
+        # dir also holds stale content-addressed snapshots from the
+        # intermediate saves, which load never reads)
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        sha = manifest["blobs"][0]["sha256"]
+        (tmp_path / "objects" / f"{sha}.bin").write_bytes(b"garbage")
+        with pytest.raises(CheckpointError):
+            _run(None, "dynamic", checkpoint=tmp_path, resume=True)
+
+    def test_incompatible_version_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save({"k": 1}, [np.zeros(2, np.float32)], [(0, 2)])
+        manifest = tmp_path / "MANIFEST.json"
+        data = json.loads(manifest.read_text())
+        data["version"] = 999
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(CheckpointError):
+            store.load({"k": 1})
+
+
+_KILL_CHILD = textwrap.dedent("""
+    import os, signal, sys
+    import numpy as np
+    import repro.hpl as hpl
+    from repro.hpl import Float, cluster_eval, float_
+    from repro.hpl.cluster import Cluster, DistributedArray
+    from repro.hpl import checkpoint as ckpt
+
+    mode, ckpt_dir, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+    if mode == "kill":
+        # SIGKILL the process at the third snapshot: no cleanup, no
+        # atexit — exactly a crashed run
+        original = ckpt.CheckpointStore.save
+        calls = {"n": 0}
+        def killing_save(self, run_id, arrays, completed):
+            calls["n"] += 1
+            if calls["n"] == 3:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return original(self, run_id, arrays, completed)
+        ckpt.CheckpointStore.save = killing_save
+
+    def saxpy_part(y, x, a, offset, count):
+        y[hpl.idx] = a * x[hpl.idx] + y[hpl.idx]
+
+    n = 20000
+    rng = np.random.default_rng(11)
+    xd = rng.random(n).astype(np.float32)
+    yd = rng.random(n).astype(np.float32)
+    c = Cluster(hpl.get_devices())
+    x = DistributedArray(float_, n, c, data=xd)
+    y = DistributedArray(float_, n, c, data=yd)
+    cluster_eval(saxpy_part, c, y, x, Float(2.0), schedule="dynamic",
+                 checkpoint=ckpt_dir, checkpoint_every=1,
+                 resume=(mode == "resume"))
+    np.save(out_path, y.gather())
+""")
+
+
+class TestKillAndResume:
+    def test_sigkilled_run_resumes_bit_identically(self, tmp_path):
+        script = tmp_path / "child.py"
+        script.write_text(_KILL_CHILD)
+        ckpt_dir = tmp_path / "ckpt"
+        out_path = tmp_path / "out.npy"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(hpl.__file__), "..", "..")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        env.pop("HPL_FAULTS", None)
+
+        first = subprocess.run(
+            [sys.executable, str(script), "kill", str(ckpt_dir),
+             str(out_path)], env=env, capture_output=True, timeout=120)
+        assert first.returncode == -signal.SIGKILL, first.stderr.decode()
+        assert not out_path.exists()        # it really died mid-run
+        assert (ckpt_dir / "MANIFEST.json").exists()
+
+        second = subprocess.run(
+            [sys.executable, str(script), "resume", str(ckpt_dir),
+             str(out_path)], env=env, capture_output=True, timeout=120)
+        assert second.returncode == 0, second.stderr.decode()
+        out = np.load(out_path)
+        assert np.array_equal(out, _expected())
+
+
+class TestProbationReadmission:
+    def test_transiently_lost_device_is_probed_back(self):
+        # the device dies with DeviceLost for its first 3 matching ops
+        # (launch + two failed probes), then heals: probation readmits
+        # it mid-run with decayed calibration
+        registry = trace.get_registry()
+        probes0 = registry.counter("cluster.probes").value
+        readmit0 = registry.counter("cluster.readmitted").value
+        out, result, c = _run(
+            "device=Quadro kind=transient code=lost nth=1 count=3",
+            "dynamic", probation=True, probe_interval=1)
+        f = result.failures
+        assert "SimCL Quadro FX 380#1" in f.devices_lost
+        assert "SimCL Quadro FX 380#1" in f.readmitted
+        assert not f.clean
+        assert registry.counter("cluster.probes").value > probes0
+        assert registry.counter(
+            "cluster.readmitted").value > readmit0
+        assert any(d.label == "SimCL Quadro FX 380#1"
+                   for d in c.devices)
+        assert np.array_equal(out, _expected())
+
+    def test_readmitted_device_calibration_is_decayed(self):
+        _run(None, "dynamic")       # record calibration for everyone
+        quadro = "SimCL Quadro FX 380#1"
+        before = calibration().throughput("saxpy_part", quadro)
+        assert before
+        _run("device=Quadro kind=transient code=lost nth=1 count=2",
+             "dynamic", probation=True, probe_interval=1,
+             probation_decay=0.5)
+        after = calibration().throughput("saxpy_part", quadro)
+        assert after < before
+
+    @pytest.mark.parametrize("schedule", ["uniform", "dynamic"])
+    def test_all_devices_lost_is_fatal_after_probes_fail(
+            self, schedule):
+        # permanent loss: probes can never revive anyone, so the
+        # all-lost path must still end in ClusterExecutionError
+        registry = trace.get_registry()
+        probes0 = registry.counter("cluster.probes").value
+        with pytest.raises(ClusterExecutionError):
+            _run("device=* kind=lost at=0", schedule, probation=True,
+                 probe_interval=1)
+        assert registry.counter("cluster.probes").value > probes0
+
+    def test_without_probation_all_lost_fails_without_probing(self):
+        registry = trace.get_registry()
+        probes0 = registry.counter("cluster.probes").value
+        with pytest.raises(ClusterExecutionError):
+            _run("device=* kind=lost at=0", "dynamic")
+        assert registry.counter("cluster.probes").value == probes0
+
+
+class TestGatherDeviceLoss:
+    def test_device_loss_during_gather_d2h_raises(self):
+        hpl.reset_runtime()
+        c = Cluster(hpl.get_devices())
+        args, _ = _problem(c)
+        cluster_eval(saxpy_part, c, *args)
+        # results now live on the devices; the Tesla dies before its
+        # d2h transfer, so the gather cannot produce complete data
+        faults.configure("device=Tesla kind=lost op=read at=0")
+        with pytest.raises(CLError):
+            args[0].gather()
+
+
+class TestFailureSummaryDict:
+    def test_as_dict_has_all_resilience_fields(self):
+        _out, result, _c = _run(None, "dynamic")
+        d = result.failures.as_dict()
+        for key in ("transient_failures", "retries", "backoff_seconds",
+                    "devices_lost", "requeued_items",
+                    "speculative_wins", "deadline_missed",
+                    "resumed_blocks", "readmitted", "clean"):
+            assert key in d
+        assert d["clean"] is True

@@ -365,3 +365,119 @@ class TestErrorPropagationThroughMarkers:
             cl.wait_for_events([e1, e2])
         # the healthy sibling was still driven to completion
         assert e1.is_failed and e2.is_complete
+
+
+class TestEventCancellation:
+    """SimCL extension: tearing down queued work before it runs."""
+
+    def test_cancel_queued_command_never_runs_payload(self):
+        from repro.errors import CommandCancelled
+
+        _dev, ctx, queue = _setup(deferred=True)
+        data = np.arange(4, dtype=np.float32)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=data.nbytes)
+        queue.enqueue_write_buffer(buf, data).wait()
+        before = trace.get_registry().counter(
+            "simcl.cancelled_events").value
+        doomed = queue.enqueue_write_buffer(
+            buf, np.full(4, -9.0, np.float32))
+        assert doomed.cancel() is True
+        assert doomed.status is command_status.CANCELLED
+        assert doomed.is_cancelled and doomed.is_failed
+        assert not doomed.is_complete
+        assert queue.pending == 0
+        with pytest.raises(CommandCancelled):
+            doomed.wait()
+        assert trace.get_registry().counter(
+            "simcl.cancelled_events").value == before + 1
+        # the buffer still holds the first write: the payload never ran
+        out = np.zeros(4, np.float32)
+        queue.enqueue_read_buffer(buf, out).wait()
+        assert np.array_equal(out, data)
+
+    def test_cancel_is_refused_once_terminal_or_eager(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        done = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        done.wait()
+        assert done.cancel() is False           # already COMPLETE
+        assert done.is_complete
+        _dev2, ctx2, eager = _setup()
+        buf2 = cl.Buffer(ctx2, cl.mem_flags.READ_WRITE, size=16)
+        ran = eager.enqueue_write_buffer(buf2, np.ones(4, np.float32))
+        assert ran.cancel() is False            # ran inside enqueue
+
+    def test_cancellation_propagates_to_same_queue_dependents(self):
+        _dev, ctx, queue = _setup(deferred=True, out_of_order=True)
+        a = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        b = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        root = queue.enqueue_write_buffer(a, np.ones(4, np.float32))
+        child = queue.enqueue_copy_buffer(a, b, wait_for=[root])
+        free = queue.enqueue_write_buffer(b, np.ones(4, np.float32))
+        assert root.cancel() is True
+        assert child.status is command_status.CANCELLED
+        assert free.status is command_status.QUEUED  # unrelated branch
+        queue.finish()
+        assert free.is_complete
+
+    def test_cancellation_abandons_cross_queue_dependents(self):
+        devA = cl.Device(TESLA_C2050, "serial")
+        devB = cl.Device(XEON_HOST, "serial")
+        ctx = cl.Context([devA, devB])
+        qA = cl.CommandQueue(ctx, devA, deferred=True)
+        qB = cl.CommandQueue(ctx, devB, deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        dep = qA.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        out = np.zeros(4, np.float32)
+        downstream = qB.enqueue_read_buffer(buf, out, wait_for=[dep])
+        assert dep.cancel() is True
+        downstream.drive()
+        assert downstream.status is command_status.CANCELLED
+        assert np.array_equal(out, np.zeros(4, np.float32))
+
+    def test_cancel_pending_sweeps_the_queue(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=64)
+        events = [queue.enqueue_write_buffer(buf,
+                                             np.ones(4, np.float32))
+                  for _ in range(3)]
+        assert queue.pending == 3
+        assert queue.cancel_pending() == 3
+        assert queue.pending == 0
+        assert all(e.is_cancelled for e in events)
+
+    def test_callbacks_fire_on_cancellation(self):
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        seen = []
+        event.add_callback(seen.append)
+        event.cancel()
+        assert seen == [event] and event.is_cancelled
+
+
+class TestCallbackSafety:
+    """A raising callback must not corrupt queue processing."""
+
+    def test_raising_callback_is_contained_and_counted(self):
+        registry = trace.get_registry()
+        before = registry.counter("simcl.callback_errors").value
+        _dev, ctx, queue = _setup(deferred=True)
+        buf = cl.Buffer(ctx, cl.mem_flags.READ_WRITE, size=16)
+        event = queue.enqueue_write_buffer(buf, np.ones(4, np.float32))
+        seen = []
+
+        def boom(_e):
+            raise RuntimeError("callback bug")
+
+        event.add_callback(boom)
+        event.add_callback(seen.append)     # must still fire
+        queue.finish()                      # must not raise
+        assert event.is_complete
+        assert seen == [event]
+        assert registry.counter("simcl.callback_errors").value \
+            == before + 1
+        # immediate-fire path (already-terminal event) is guarded too
+        event.add_callback(boom)
+        assert registry.counter("simcl.callback_errors").value \
+            == before + 2
